@@ -1,0 +1,146 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark iteration reproduces the complete
+// experiment on the simulated machines (workload construction is cached
+// across iterations and benchmarks). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The custom metrics report the headline quantity of each experiment so
+// the paper-vs-measured comparison appears directly in benchmark output.
+package gonamd_test
+
+import (
+	"testing"
+
+	"gonamd/internal/bench"
+)
+
+// BenchmarkTable1Audit regenerates the 1024-PE ApoA-I performance audit.
+// Paper actual row: 86 ms total, 10.45 ms imbalance, 7.97 ms overhead.
+func BenchmarkTable1Audit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, actual, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(actual.Total*1e3, "ms/step@1024")
+		b.ReportMetric(actual.Imbalance*1e3, "ms-imbalance")
+	}
+}
+
+// BenchmarkTable2ApoA1ASCIRed regenerates ApoA-I scaling on ASCI-Red
+// (paper: speedup 695 at 1024, 997 at 2048).
+func BenchmarkTable2ApoA1ASCIRed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@2048")
+		b.ReportMetric(last.GFLOPS, "GFLOPS@2048")
+	}
+}
+
+// BenchmarkTable3BC1ASCIRed regenerates BC1 scaling on ASCI-Red (paper:
+// speedup 1252 at 2048, 58.4 GFLOPS).
+func BenchmarkTable3BC1ASCIRed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@2048")
+		b.ReportMetric(last.GFLOPS, "GFLOPS@2048")
+	}
+}
+
+// BenchmarkTable4BRASCIRed regenerates bR scaling on ASCI-Red (paper:
+// speedup saturates near 49 beyond 128 processors).
+func BenchmarkTable4BRASCIRed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@256")
+	}
+}
+
+// BenchmarkTable5ApoA1T3E regenerates ApoA-I scaling on the T3E-900
+// (paper: speedup 231 at 256 processors, 14.8 GFLOPS).
+func BenchmarkTable5ApoA1T3E(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@256")
+	}
+}
+
+// BenchmarkTable6ApoA1Origin regenerates ApoA-I scaling on the Origin
+// 2000 (paper: speedup 70 at 80 processors, 7.86 GFLOPS).
+func BenchmarkTable6ApoA1Origin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@80")
+	}
+}
+
+// BenchmarkFigure1GrainsizeBefore regenerates the pre-splitting grainsize
+// histogram (paper: bimodal, max ≈ 42 ms).
+func BenchmarkFigure1GrainsizeBefore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := bench.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.MaxVal*1e3, "ms-max-grain")
+		b.ReportMetric(h.Bimodality(), "upper-mode-frac")
+	}
+}
+
+// BenchmarkFigure2GrainsizeAfter regenerates the post-splitting histogram
+// (paper: unimodal, small maximum).
+func BenchmarkFigure2GrainsizeAfter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := bench.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.MaxVal*1e3, "ms-max-grain")
+		b.ReportMetric(h.Bimodality(), "upper-mode-frac")
+	}
+}
+
+// BenchmarkFigure3TimelineBefore regenerates the naive-multicast timeline
+// (paper: long integration method, idle gaps on patchless processors).
+func BenchmarkFigure3TimelineBefore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := bench.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v.IntegrateSends*1e3, "ms-integrate-method")
+	}
+}
+
+// BenchmarkFigure4TimelineAfter regenerates the optimized-multicast
+// timeline (paper: the critical method's duration halves).
+func BenchmarkFigure4TimelineAfter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := bench.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v.IntegrateSends*1e3, "ms-integrate-method")
+	}
+}

@@ -1,0 +1,123 @@
+// Command benchtables regenerates the paper's tables and figures on the
+// simulated machines and prints them alongside the published values.
+//
+// Usage:
+//
+//	benchtables                  # everything
+//	benchtables -table 2         # one table (1-6)
+//	benchtables -figure 1        # one figure (1-4)
+//	benchtables -summary 64      # bonus: summary profile on N PEs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gonamd/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := flag.Int("table", 0, "regenerate one table (1-6); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate one figure (1-4); 0 = all")
+	summary := flag.Int("summary", 0, "print a summary profile for N PEs")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
+	baselines := flag.Bool("baselines", false, "print the decomposition scalability comparison (paper §3)")
+	flag.Parse()
+
+	start := time.Now()
+	all := *table == 0 && *figure == 0 && *summary == 0 && !*ablations && !*baselines
+
+	runTable := func(n int) {
+		switch n {
+		case 1:
+			ideal, actual, err := bench.Table1()
+			check(err)
+			fmt.Println(bench.FormatAudit(ideal, actual))
+		case 2:
+			rows, err := bench.Table2()
+			check(err)
+			fmt.Println(bench.FormatScaling("Table 2: ApoA-I (92,224 atoms) on ASCI-Red", rows))
+		case 3:
+			rows, err := bench.Table3()
+			check(err)
+			fmt.Println(bench.FormatScaling("Table 3: BC1 (206,617 atoms) on ASCI-Red (speedup normalized to 2 at 2 procs)", rows))
+		case 4:
+			rows, err := bench.Table4()
+			check(err)
+			fmt.Println(bench.FormatScaling("Table 4: bR (3,762 atoms) on ASCI-Red", rows))
+		case 5:
+			rows, err := bench.Table5()
+			check(err)
+			fmt.Println(bench.FormatScaling("Table 5: ApoA-I on Cray T3E-900 (speedup normalized to 4 at 4 procs)", rows))
+		case 6:
+			rows, err := bench.Table6()
+			check(err)
+			fmt.Println(bench.FormatScaling("Table 6: ApoA-I on SGI Origin 2000", rows))
+		default:
+			log.Fatalf("no such table: %d", n)
+		}
+	}
+	runFigure := func(n int) {
+		switch n {
+		case 1:
+			h, err := bench.Figure1()
+			check(err)
+			fmt.Println(bench.FormatHistogram("Figure 1: grainsize of nonbonded computes before splitting (paper: bimodal, max ≈ 42 ms)", h))
+		case 2:
+			h, err := bench.Figure2()
+			check(err)
+			fmt.Println(bench.FormatHistogram("Figure 2: grainsize after splitting (paper: unimodal, small max)", h))
+		case 3:
+			v, err := bench.Figure3()
+			check(err)
+			fmt.Printf("Figure 3: timeline, naive multicast — step %.1f ms, integrate+send method %.2f ms\n%s\n",
+				v.StepTime*1e3, v.IntegrateSends*1e3, v.Timeline)
+		case 4:
+			v, err := bench.Figure4()
+			check(err)
+			fmt.Printf("Figure 4: timeline, optimized multicast — step %.1f ms, integrate+send method %.2f ms\n%s\n",
+				v.StepTime*1e3, v.IntegrateSends*1e3, v.Timeline)
+		default:
+			log.Fatalf("no such figure: %d", n)
+		}
+	}
+
+	switch {
+	case all:
+		for n := 1; n <= 6; n++ {
+			runTable(n)
+		}
+		for n := 1; n <= 4; n++ {
+			runFigure(n)
+		}
+	case *table != 0:
+		runTable(*table)
+	case *figure != 0:
+		runFigure(*figure)
+	}
+	if *summary != 0 {
+		s, err := bench.SummaryProfile(*summary)
+		check(err)
+		fmt.Println(s)
+	}
+	if *ablations {
+		peCounts := []int{256, 1024, 2048}
+		rows, err := bench.Ablations(peCounts)
+		check(err)
+		fmt.Println(bench.FormatAblations(rows, peCounts))
+	}
+	if *baselines || all {
+		fmt.Println(bench.BaselineComparison())
+	}
+	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

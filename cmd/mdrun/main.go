@@ -1,0 +1,179 @@
+// Command mdrun runs real molecular dynamics on a synthetic system using
+// either the sequential reference engine or the shared-memory parallel
+// engine, printing an energy log.
+//
+// Usage:
+//
+//	mdrun -system water -side 24 -steps 100 -dt 0.5 -workers 0
+//	mdrun -system br -steps 50 -minimize 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gonamd"
+	"gonamd/internal/sysio"
+	"gonamd/internal/thermo"
+	"gonamd/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	system := flag.String("system", "water", "system: water, br, apoa1, bc1")
+	inFile := flag.String("in", "", "load a system saved by molgen -o instead of building one")
+	side := flag.Float64("side", 24, "water box side length, Å")
+	seed := flag.Uint64("seed", 1, "builder seed")
+	steps := flag.Int("steps", 100, "MD steps")
+	dt := flag.Float64("dt", 0.5, "timestep, fs")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, -1 = sequential engine)")
+	minimize := flag.Int("minimize", 200, "minimization iterations before dynamics")
+	cutoff := flag.Float64("cutoff", 9.0, "nonbonded cutoff, Å")
+	every := flag.Int("every", 10, "print energies every N steps")
+	thermostat := flag.String("thermostat", "", "NVT thermostat: rescale, berendsen, langevin (default NVE)")
+	targetT := flag.Float64("temperature", 300, "thermostat target temperature, K")
+	trajPath := flag.String("traj", "", "write a binary trajectory to this file")
+	trajEvery := flag.Int("trajevery", 10, "write a trajectory frame every N steps")
+	shake := flag.Bool("shake", false, "constrain bonds to hydrogen (sequential engine; allows -dt 2)")
+	flag.Parse()
+
+	var sys *gonamd.System
+	var st *gonamd.State
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, st, err = sysio.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var spec gonamd.Spec
+		switch *system {
+		case "water":
+			spec = gonamd.WaterBoxSpec(*side, *seed)
+		case "br":
+			spec = gonamd.BRSpec()
+		case "apoa1":
+			spec = gonamd.ApoA1Spec()
+		case "bc1":
+			spec = gonamd.BC1Spec()
+		default:
+			log.Fatalf("unknown system %q", *system)
+		}
+		var err error
+		sys, st, err = gonamd.BuildSystem(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ff := gonamd.StandardForceField(*cutoff)
+	fmt.Printf("%s: %d atoms, %d bonded terms, box %v\n", sys.Name, sys.N(), sys.NumBondedTerms(), sys.Box)
+
+	if *minimize > 0 {
+		m, err := gonamd.NewSequential(sys, ff, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e0 := m.Energies().Potential()
+		e1 := m.Minimize(*minimize, 0.2)
+		fmt.Printf("minimized %d iterations: %.1f -> %.1f kcal/mol\n", *minimize, e0, e1)
+	}
+
+	var th thermo.Thermostat
+	switch *thermostat {
+	case "":
+	case "rescale":
+		th = &thermo.Rescale{Target: *targetT, Interval: 10}
+	case "berendsen":
+		th = &thermo.Berendsen{Target: *targetT, Tau: 100}
+	case "langevin":
+		th = &thermo.Langevin{Target: *targetT, Gamma: 0.005, Seed: *seed}
+	default:
+		log.Fatalf("unknown thermostat %q", *thermostat)
+	}
+	if th != nil {
+		fmt.Printf("thermostat: %s at %.0f K\n", th.Name(), *targetT)
+	}
+
+	type stepper interface {
+		Step(float64)
+		Energies() gonamd.Energies
+		Temperature() float64
+	}
+	var constraints *gonamd.Constraints
+	if *shake {
+		c, err := gonamd.NewHBondConstraints(sys, ff)
+		if err != nil {
+			log.Fatal(err)
+		}
+		constraints = c
+		*workers = -1 // constrained stepping runs on the sequential engine
+		fmt.Printf("SHAKE/RATTLE: %d constrained bonds\n", c.Count())
+	}
+
+	var eng stepper
+	if *workers < 0 {
+		e, err := gonamd.NewSequential(sys, ff, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.Thermo = th
+		eng = e
+		fmt.Println("engine: sequential")
+	} else {
+		e, err := gonamd.NewParallel(sys, ff, st, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.Thermo = th
+		eng = e
+		fmt.Printf("engine: parallel, %d workers, %d tasks\n", e.Workers(), e.NumTasks())
+	}
+
+	var tw *traj.Writer
+	if *trajPath != "" {
+		f, err := os.Create(*trajPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tw, err = traj.NewWriter(f, sys.N(), sys.Box)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tw.Flush()
+	}
+
+	seqEng, _ := eng.(*gonamd.Sequential)
+	start := time.Now()
+	for s := 1; s <= *steps; s++ {
+		if constraints != nil {
+			if err := seqEng.StepConstrained(*dt, constraints); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			eng.Step(*dt)
+		}
+		if s%*every == 0 || s == *steps {
+			fmt.Printf("step %5d  t=%7.1f fs  T=%6.1f K  %s\n",
+				s, float64(s)**dt, eng.Temperature(), eng.Energies())
+		}
+		if tw != nil && s%*trajEvery == 0 {
+			if err := tw.WriteFrame(int64(s), float64(s)**dt, st.Pos); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if tw != nil {
+		fmt.Printf("wrote %d trajectory frames to %s\n", tw.Frames(), *trajPath)
+	}
+	el := time.Since(start)
+	fmt.Printf("%d steps in %v (%.2f ms/step)\n", *steps, el.Round(time.Millisecond),
+		float64(el.Microseconds())/1e3/float64(*steps))
+}

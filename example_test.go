@@ -1,0 +1,65 @@
+package gonamd_test
+
+import (
+	"fmt"
+
+	"gonamd"
+)
+
+// ExampleBuildSystem builds a small water box and reports its
+// composition.
+func ExampleBuildSystem() {
+	sys, st, err := gonamd.BuildSystem(gonamd.WaterBoxSpec(15, 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("atoms: %d\n", sys.N())
+	fmt.Printf("bonds: %d\n", len(sys.Bonds))
+	fmt.Printf("positions: %d\n", len(st.Pos))
+	// Output:
+	// atoms: 336
+	// bonds: 224
+	// positions: 336
+}
+
+// ExampleNewSequential minimizes a water box and runs a few steps of NVE
+// dynamics, checking that energy is finite and bounded.
+func ExampleNewSequential() {
+	sys, st, _ := gonamd.BuildSystem(gonamd.WaterBoxSpec(14, 2))
+	ff := gonamd.StandardForceField(6.0)
+	eng, _ := gonamd.NewSequential(sys, ff, st)
+	before := eng.Energies().Potential()
+	after := eng.Minimize(100, 0.2)
+	fmt.Printf("minimization reduced energy: %v\n", after < before)
+	eng.Run(10, 0.5)
+	fmt.Printf("temperature positive: %v\n", eng.Temperature() > 0)
+	// Output:
+	// minimization reduced energy: true
+	// temperature positive: true
+}
+
+// ExampleNewClusterSim runs the paper's bR benchmark on 16 simulated
+// ASCI-Red processors and reports the parallel efficiency band.
+func ExampleNewClusterSim() {
+	spec := gonamd.BRSpec()
+	spec.Temperature = 0
+	sys, st, _ := gonamd.BuildSystem(spec)
+	grid, _ := gonamd.NewGridDims(sys, spec.PatchDims, gonamd.Cutoff)
+	w, _ := gonamd.BuildWorkload(spec.Name, sys, st, grid, gonamd.Cutoff, gonamd.Cutoff+1.5)
+
+	sim, _ := gonamd.NewClusterSim(w, gonamd.ClusterConfig{
+		PEs:          16,
+		Model:        gonamd.ASCIRed(),
+		SplitSelf:    true,
+		GrainSplit:   true,
+		SplitBonded:  true,
+		MulticastOpt: true,
+	})
+	res := sim.Run()
+	eff := res.SeqTime / res.AvgStep / 16
+	fmt.Printf("16-PE efficiency above 80%%: %v\n", eff > 0.8)
+	fmt.Printf("patches: %d\n", grid.NumPatches())
+	// Output:
+	// 16-PE efficiency above 80%: true
+	// patches: 36
+}

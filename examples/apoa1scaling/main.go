@@ -1,0 +1,68 @@
+// apoa1scaling reproduces the paper's headline experiment in miniature:
+// scaling a biomolecular simulation across simulated processors of the
+// ASCI-Red machine model. By default it uses the small bR benchmark
+// (3,762 atoms, Table 4); pass -full to run the 92,224-atom ApoA-I
+// system of Table 2 (slower to set up: exact pair counting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gonamd"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "use the full ApoA-I benchmark instead of bR")
+	flag.Parse()
+
+	spec := gonamd.BRSpec()
+	peCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if *full {
+		spec = gonamd.ApoA1Spec()
+		peCounts = []int{1, 4, 16, 64, 256, 1024, 2048}
+	}
+	spec.Temperature = 0
+
+	fmt.Printf("building %s (%d atoms)...\n", spec.Name, spec.TargetAtoms)
+	sys, st, err := gonamd.BuildSystem(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := gonamd.NewGridDims(sys, spec.PatchDims, gonamd.Cutoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := gonamd.BuildWorkload(spec.Name, sys, st, grid, gonamd.Cutoff, gonamd.Cutoff+1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := gonamd.ASCIRed()
+	fmt.Printf("patches: %d, modeled sequential step: %.3g s\n",
+		grid.NumPatches(), model.SeqTime(w.Counts()))
+
+	fmt.Printf("%6s %12s %9s %9s %8s\n", "procs", "s/step", "speedup", "eff%", "GFLOPS")
+	var base float64
+	for _, pes := range peCounts {
+		sim, err := gonamd.NewClusterSim(w, gonamd.ClusterConfig{
+			PEs:          pes,
+			Model:        model,
+			SplitSelf:    true,
+			GrainSplit:   true,
+			SplitBonded:  true,
+			MulticastOpt: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Run()
+		if base == 0 {
+			base = res.AvgStep * float64(pes)
+		}
+		speedup := base / res.AvgStep
+		fmt.Printf("%6d %12.4g %9.1f %8.1f%% %8.3g\n",
+			pes, res.AvgStep, speedup, 100*speedup/float64(pes), res.GFLOPS)
+	}
+}

@@ -1,0 +1,34 @@
+// baselines reproduces the paper's §3 scalability argument: atom
+// replication and atom decomposition are theoretically non-scalable
+// (communication/computation ratio grows ∝ P), force decomposition grows
+// ∝ √P, and spatial decomposition stays bounded when the problem grows
+// with the machine. Costs use the ASCI-Red model and the ApoA-I
+// reference work counts.
+package main
+
+import (
+	"fmt"
+
+	"gonamd/internal/baseline"
+	"gonamd/internal/machine"
+)
+
+func main() {
+	in := baseline.InputsFromCounts(machine.ReferenceCounts, machine.ASCIRed())
+	fmt.Println("Fixed problem size (ApoA-I, 92,224 atoms):")
+	fmt.Println(baseline.Format(in, []int{1, 8, 32, 128, 512, 2048}))
+
+	fmt.Println("Isogranular scaling (problem grows 32× with the machine):")
+	big := in
+	big.Atoms *= 32
+	big.Pairs *= 32
+	fmt.Println(baseline.Format(big, []int{2048}))
+
+	growth := baseline.ScalabilityGrowth(in, 64, 1024)
+	fmt.Println("comm/comp ratio growth, 64 → 1024 processors (fixed size):")
+	for _, m := range []baseline.Method{
+		baseline.Replication, baseline.AtomDecomp, baseline.ForceDecomp, baseline.SpatialDecomp,
+	} {
+		fmt.Printf("  %-14s %.1f×\n", m, growth[m])
+	}
+}

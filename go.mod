@@ -1,0 +1,3 @@
+module gonamd
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package gonamd is a from-scratch Go implementation of the parallel
+// molecular dynamics system described in Brunner, Phillips & Kalé,
+// "Scalable Molecular Dynamics for Large Biomolecular Systems" (SC 2000)
+// — the NAMD2 scaling paper.
+//
+// It provides three ways to run molecular dynamics:
+//
+//   - a sequential reference engine (NewSequential),
+//   - a real shared-memory parallel engine mapping the paper's compute
+//     objects onto goroutine workers with measurement-based load
+//     balancing (NewParallel),
+//   - a deterministic cluster simulation that reproduces the paper's
+//     evaluation — hybrid force/spatial decomposition with home and
+//     proxy patches on up to thousands of simulated processors
+//     (NewClusterSim), including the ASCI-Red, Cray T3E-900, and SGI
+//     Origin 2000 machine models.
+//
+// Synthetic benchmark systems standing in for the paper's inputs
+// (ApoA-I, BC1, bR) are built by BuildSystem with the corresponding
+// Spec presets.
+package gonamd
+
+import (
+	"gonamd/internal/converse"
+	"gonamd/internal/core"
+	"gonamd/internal/forcefield"
+	"gonamd/internal/machine"
+	"gonamd/internal/molgen"
+	"gonamd/internal/par"
+	"gonamd/internal/seq"
+	"gonamd/internal/spatial"
+	"gonamd/internal/sysio"
+	"gonamd/internal/thermo"
+	"gonamd/internal/topology"
+	"gonamd/internal/traj"
+)
+
+// NetworkModel is the communication cost model of a simulated machine.
+type NetworkModel = converse.NetworkModel
+
+// Core molecular data types.
+type (
+	// System is a molecular topology: atoms, bonded terms, exclusions.
+	System = topology.System
+	// State holds positions and velocities.
+	State = topology.State
+	// ForceField is a CHARMM-style parameter set with evaluation kernels.
+	ForceField = forcefield.Params
+	// Energies is a decomposed energy report.
+	Energies = seq.Energies
+)
+
+// Builders.
+type (
+	// Spec describes a synthetic system to build.
+	Spec = molgen.Spec
+	// Grid is the spatial patch decomposition geometry.
+	Grid = spatial.Grid
+)
+
+// Engines.
+type (
+	// Sequential is the single-threaded reference engine.
+	Sequential = seq.Engine
+	// Parallel is the shared-memory goroutine engine.
+	Parallel = par.Engine
+)
+
+// Cluster simulation types.
+type (
+	// ClusterConfig configures a simulated parallel run.
+	ClusterConfig = core.Config
+	// ClusterSim is a cluster simulation instance.
+	ClusterSim = core.Sim
+	// ClusterResult reports a simulated run's performance.
+	ClusterResult = core.Result
+	// Workload is the measured work decomposition of a system on a grid.
+	Workload = core.Workload
+	// MachineModel is a parallel computer cost model.
+	MachineModel = machine.Model
+	// WorkCounts are aggregate per-step work counts.
+	WorkCounts = machine.Counts
+)
+
+// Benchmark system presets (the paper's three benchmarks plus a plain
+// water box for quick starts).
+var (
+	ApoA1Spec    = molgen.ApoA1
+	BC1Spec      = molgen.BC1
+	BRSpec       = molgen.BR
+	WaterBoxSpec = molgen.WaterBox
+)
+
+// Cutoff is the nonbonded cutoff radius (Å) used by all paper benchmarks.
+const Cutoff = molgen.Cutoff
+
+// BuildSystem constructs a synthetic system and its initial state.
+func BuildSystem(spec Spec) (*System, *State, error) { return molgen.Build(spec) }
+
+// StandardForceField returns the CHARMM-style parameter set used by the
+// synthetic systems, with the given cutoff (Å).
+func StandardForceField(cutoff float64) *ForceField { return forcefield.Standard(cutoff) }
+
+// NewSequential creates the single-threaded reference engine.
+func NewSequential(sys *System, ff *ForceField, st *State) (*Sequential, error) {
+	return seq.New(sys, ff, st)
+}
+
+// NewParallel creates the shared-memory parallel engine with the given
+// number of goroutine workers (0 = GOMAXPROCS).
+func NewParallel(sys *System, ff *ForceField, st *State, workers int) (*Parallel, error) {
+	return par.New(sys, ff, st, workers)
+}
+
+// NewGrid divides a box into cutoff-sized patches.
+func NewGrid(sys *System, cutoff float64) (*Grid, error) {
+	return spatial.NewGrid(sys.Box, cutoff)
+}
+
+// NewGridDims builds a patch grid with explicit per-axis patch counts
+// (the paper pins ApoA-I to 7×7×5, BC1 to 9×7×6, bR to 4×3×3).
+func NewGridDims(sys *System, dims [3]int, cutoff float64) (*Grid, error) {
+	return spatial.NewGridDims(sys.Box, dims, cutoff)
+}
+
+// BuildWorkload measures the per-patch and per-patch-pair work of a
+// system — the expensive precomputation shared by cluster simulations.
+func BuildWorkload(name string, sys *System, st *State, grid *Grid, cutoff, listDist float64) (*Workload, error) {
+	return core.BuildWorkload(name, sys, st, grid, cutoff, listDist)
+}
+
+// NewClusterSim builds a simulated parallel run of a workload.
+func NewClusterSim(w *Workload, cfg ClusterConfig) (*ClusterSim, error) {
+	return core.NewSim(w, cfg)
+}
+
+// Temperature control and constraints for NVT / long-timestep dynamics.
+type (
+	// Thermostat adjusts velocities toward a target temperature.
+	Thermostat = thermo.Thermostat
+	// Rescale is a hard velocity-rescaling thermostat.
+	Rescale = thermo.Rescale
+	// Berendsen is the weak-coupling thermostat.
+	Berendsen = thermo.Berendsen
+	// Langevin is a stochastic thermostat with a deterministic stream.
+	Langevin = thermo.Langevin
+	// Constraints holds SHAKE/RATTLE bond constraints.
+	Constraints = seq.Constraints
+)
+
+// NewHBondConstraints constrains every bond involving hydrogen to its
+// force-field equilibrium length, enabling ~2 fs timesteps via
+// Sequential.StepConstrained.
+func NewHBondConstraints(sys *System, ff *ForceField) (*Constraints, error) {
+	return seq.NewHBondConstraints(sys, func(typ int32) float64 { return ff.BondTypes[typ].R0 })
+}
+
+// Trajectory I/O.
+type (
+	// TrajWriter streams binary trajectory frames.
+	TrajWriter = traj.Writer
+	// TrajReader decodes binary trajectories.
+	TrajReader = traj.Reader
+	// TrajFrame is one decoded frame.
+	TrajFrame = traj.Frame
+)
+
+// NewTrajWriter and NewTrajReader open trajectory streams; RDF and MSD
+// are the standard analyses over decoded frames.
+var (
+	NewTrajWriter = traj.NewWriter
+	NewTrajReader = traj.NewReader
+	RDF           = traj.RDF
+	MSD           = traj.MSD
+)
+
+// SaveSystem and LoadSystem persist built systems (gzip+gob), so
+// expensive synthetic builds can be generated once and reused.
+var (
+	SaveSystem = sysio.Save
+	LoadSystem = sysio.Load
+)
+
+// Machine models, calibrated from the paper's Table 1 using the ApoA-I
+// workload's counts.
+var (
+	ASCIRed    = machine.ASCIRed
+	T3E        = machine.T3E
+	Origin2000 = machine.Origin2000
+)
+
+// CalibrateMachine builds a custom machine model: cpuFactor scales all
+// CPU costs relative to ASCI-Red.
+var CalibrateMachine = machine.Calibrate

@@ -1,0 +1,203 @@
+// Package baseline models the parallelization strategies the paper's §3
+// argues against — atom replication, atom decomposition, and force
+// decomposition — alongside the paper's spatial decomposition, using
+// standard communication cost models over the same calibrated machine
+// parameters. The paper's claim is qualitative: the first three are
+// "theoretically non-scalable" because their communication-to-computation
+// ratio grows with the processor count even when the problem grows, while
+// spatial decomposition's ratio is bounded. This package makes that claim
+// reproducible as a table.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gonamd/internal/machine"
+)
+
+// Method is a parallel MD decomposition strategy.
+type Method int
+
+const (
+	// Replication: every processor holds all coordinates, computes 1/P of
+	// the pair interactions, and joins a global force allreduce.
+	Replication Method = iota
+	// AtomDecomp: each processor owns N/P atoms and their force rows, but
+	// needs all positions each step (allgather).
+	AtomDecomp
+	// ForceDecomp: Plimpton's √P × √P force-matrix blocks; each
+	// processor needs two position blocks of N/√P atoms and joins
+	// row/column force folds.
+	ForceDecomp
+	// SpatialDecomp: cutoff-sized cubes; each processor imports only the
+	// shell of neighboring cubes around its region.
+	SpatialDecomp
+	numMethods = iota
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Replication:
+		return "replication"
+	case AtomDecomp:
+		return "atom-decomp"
+	case ForceDecomp:
+		return "force-decomp"
+	case SpatialDecomp:
+		return "spatial"
+	default:
+		return "unknown"
+	}
+}
+
+// Inputs describe the workload and machine for the comparison.
+type Inputs struct {
+	Atoms        int64   // N
+	Pairs        int64   // within-cutoff pairs per step
+	BytesPerAtom int     // coordinate/force payload per atom (24-32)
+	CutoffAtoms  float64 // average atoms within one cutoff sphere (for spatial shells)
+	Model        machine.Model
+}
+
+// InputsFromCounts derives Inputs from measured workload counts, taking
+// the average neighborhood size from the pair density.
+func InputsFromCounts(c machine.Counts, m machine.Model) Inputs {
+	return Inputs{
+		Atoms:        c.Atoms,
+		Pairs:        c.Pairs,
+		BytesPerAtom: 32,
+		CutoffAtoms:  2 * float64(c.Pairs) / float64(c.Atoms),
+		Model:        m,
+	}
+}
+
+// Cost is the per-step estimate for one method at one processor count.
+type Cost struct {
+	Method  Method
+	P       int
+	Compute float64 // s
+	Comm    float64 // s
+	Ratio   float64 // Comm / Compute
+}
+
+// Total returns compute plus communication time.
+func (c Cost) Total() float64 { return c.Compute + c.Comm }
+
+// Estimate returns the per-step cost of one method on P processors.
+func Estimate(in Inputs, m Method, p int) Cost {
+	if p < 1 {
+		panic("baseline: p < 1")
+	}
+	net := in.Model.Net
+	fp := float64(p)
+	n := float64(in.Atoms)
+	bytes := float64(in.BytesPerAtom)
+	alpha := net.Latency + net.SendOverhead + net.RecvOverhead // per-message cost
+	beta := net.PerByte + net.SendPerByte                      // per-byte cost
+
+	// All methods share the pair-interaction work, evenly divided, plus
+	// integration of the atoms each processor owns.
+	compute := float64(in.Pairs)/fp*in.Model.PerPair + n/fp*in.Model.PerAtomIntegrate
+
+	var comm float64
+	logp := math.Log2(fp)
+	if p == 1 {
+		return Cost{Method: m, P: p, Compute: compute}
+	}
+	switch m {
+	case Replication:
+		// Allreduce of the full force array + broadcast of positions:
+		// bandwidth term proportional to N regardless of P.
+		comm = 2*logp*alpha + 2*n*bytes*beta
+	case AtomDecomp:
+		// Allgather of all positions; force exchange for Newton's third
+		// law adds another N-proportional term.
+		comm = logp*alpha + 2*n*bytes*beta
+	case ForceDecomp:
+		// Plimpton: expand positions within rows/columns of the √P × √P
+		// grid (recursive doubling, log √P stages) and fold N/√P forces
+		// back; bandwidth term ∝ N/√P.
+		sq := math.Sqrt(fp)
+		comm = 3*math.Log2(sq)*alpha + 3*n/sq*bytes*beta
+	case SpatialDecomp:
+		// Import the shell of thickness rc around the owned region and
+		// return forces. With ρ the number density, shell atoms =
+		// own × ((1 + 2rc/L)³ - 1) where L = (own/ρ)^(1/3); in atom
+		// units (rc/L)³ = ρrc³/own and ρrc³ = 3·CutoffAtoms/(4π).
+		ownAtoms := n / fp
+		rhoRc3 := 3 * in.CutoffAtoms / (4 * math.Pi)
+		rcOverL := math.Cbrt(rhoRc3 / ownAtoms)
+		shell := ownAtoms * (math.Pow(1+2*rcOverL, 3) - 1)
+		if shell > n-ownAtoms {
+			shell = n - ownAtoms
+		}
+		msgs := 26.0
+		if fp < 27 {
+			msgs = fp - 1
+		}
+		comm = msgs*alpha + 2*shell*bytes*beta
+	default:
+		panic(fmt.Sprintf("baseline: unknown method %d", m))
+	}
+	c := Cost{Method: m, P: p, Compute: compute, Comm: comm}
+	if compute > 0 {
+		c.Ratio = comm / compute
+	}
+	return c
+}
+
+// Compare estimates every method across the given processor counts.
+func Compare(in Inputs, peCounts []int) [][]Cost {
+	out := make([][]Cost, 0, len(peCounts))
+	for _, p := range peCounts {
+		row := make([]Cost, numMethods)
+		for m := Method(0); m < numMethods; m++ {
+			row[m] = Estimate(in, m, p)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Format renders the comparison as the speedup each method achieves,
+// with the communication/computation ratio in parentheses.
+func Format(in Inputs, peCounts []int) string {
+	rows := Compare(in, peCounts)
+	seq := Estimate(in, SpatialDecomp, 1).Total()
+	var b strings.Builder
+	b.WriteString("Decomposition scalability comparison (speedup, comm/comp ratio)\n")
+	fmt.Fprintf(&b, "%6s", "procs")
+	for m := Method(0); m < numMethods; m++ {
+		fmt.Fprintf(&b, "  %22s", m)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%6d", row[0].P)
+		for _, c := range row {
+			fmt.Fprintf(&b, "  %12.1f (%6.3f)", seq/c.Total(), c.Ratio)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ScalabilityGrowth reports how each method's comm/comp ratio changes
+// from p0 to p1 (ratio at p1 divided by ratio at p0) — the paper's
+// theoretical-scalability criterion. Growth ≈ proportional to P for
+// replication and atom decomposition, ≈ √P for force decomposition, and
+// bounded (→ ~1 at constant atoms/processor growth) for spatial
+// decomposition.
+func ScalabilityGrowth(in Inputs, p0, p1 int) map[Method]float64 {
+	out := make(map[Method]float64, numMethods)
+	for m := Method(0); m < numMethods; m++ {
+		a := Estimate(in, m, p0)
+		b := Estimate(in, m, p1)
+		if a.Ratio > 0 {
+			out[m] = b.Ratio / a.Ratio
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"gonamd/internal/machine"
+)
+
+func testInputs() Inputs {
+	return InputsFromCounts(machine.ReferenceCounts, machine.ASCIRed())
+}
+
+func TestSequentialEqualAcrossMethods(t *testing.T) {
+	in := testInputs()
+	var ref float64
+	for m := Method(0); m < numMethods; m++ {
+		c := Estimate(in, m, 1)
+		if c.Comm != 0 {
+			t.Errorf("%v: sequential run has communication %v", m, c.Comm)
+		}
+		if m == 0 {
+			ref = c.Compute
+		} else if c.Compute != ref {
+			t.Errorf("%v: sequential compute %v != %v", m, c.Compute, ref)
+		}
+	}
+}
+
+func TestComputeScalesPerfectly(t *testing.T) {
+	in := testInputs()
+	c1 := Estimate(in, SpatialDecomp, 1)
+	c64 := Estimate(in, SpatialDecomp, 64)
+	ratio := c1.Compute / c64.Compute
+	if ratio < 63.9 || ratio > 64.1 {
+		t.Errorf("compute scaling = %v, want 64", ratio)
+	}
+}
+
+func TestNonScalableMethodsRatioGrows(t *testing.T) {
+	in := testInputs()
+	growth := ScalabilityGrowth(in, 64, 1024) // 16× more processors
+	// Replication and atom decomposition: comm constant, comp ∝ 1/P →
+	// ratio grows ≈ 16×.
+	for _, m := range []Method{Replication, AtomDecomp} {
+		if growth[m] < 12 || growth[m] > 20 {
+			t.Errorf("%v ratio growth = %.1f, want ≈ 16", m, growth[m])
+		}
+	}
+	// Force decomposition: comm ∝ 1/√P → ratio grows ≈ √16 = 4×.
+	if growth[ForceDecomp] < 3 || growth[ForceDecomp] > 7 {
+		t.Errorf("force-decomp ratio growth = %.1f, want ≈ 4", growth[ForceDecomp])
+	}
+	// Spatial on a FIXED problem also degrades (surface/volume of
+	// shrinking regions plus fixed neighbor-message count) — it must
+	// still grow more slowly than the replication schemes. The sharp
+	// separation is isogranular (next test).
+	if growth[SpatialDecomp] >= growth[Replication] {
+		t.Errorf("spatial growth %.2f not below replication %.2f",
+			growth[SpatialDecomp], growth[Replication])
+	}
+}
+
+func TestIsogranularSpatialRatioBounded(t *testing.T) {
+	// The paper's theoretical-scalability criterion: grow the problem
+	// with the machine. At fixed atoms/processor the spatial ratio must
+	// stay (nearly) constant while replication's still grows.
+	base := testInputs()
+	ratioAt := func(scale float64, p int, m Method) float64 {
+		in := base
+		in.Atoms = int64(float64(base.Atoms) * scale)
+		in.Pairs = int64(float64(base.Pairs) * scale)
+		return Estimate(in, m, p).Ratio
+	}
+	s64 := ratioAt(1, 64, SpatialDecomp)
+	s1024 := ratioAt(16, 1024, SpatialDecomp)
+	if s1024 > 1.5*s64 {
+		t.Errorf("isogranular spatial ratio grew %v -> %v", s64, s1024)
+	}
+	r64 := ratioAt(1, 64, Replication)
+	r1024 := ratioAt(16, 1024, Replication)
+	if r1024 < 10*r64 {
+		t.Errorf("isogranular replication ratio should still grow ∝ P: %v -> %v", r64, r1024)
+	}
+}
+
+func TestSpatialWinsAtScale(t *testing.T) {
+	// At scale, spatial decomposition must dominate the replication
+	// schemes on a fixed problem. Force decomposition stays competitive
+	// on fixed-size problems (the paper concedes "reasonable speedups on
+	// medium-size computers"); the isogranular test below separates it.
+	in := testInputs()
+	for _, p := range []int{256, 1024, 2048} {
+		sp := Estimate(in, SpatialDecomp, p).Total()
+		for _, m := range []Method{Replication, AtomDecomp} {
+			if Estimate(in, m, p).Total() <= sp {
+				t.Errorf("%v beats spatial at %d processors", m, p)
+			}
+		}
+	}
+}
+
+func TestIsogranularSpatialBeatsForceDecomp(t *testing.T) {
+	// Scale the problem with the machine (atoms/processor fixed): force
+	// decomposition's per-processor communication grows ∝ N/√P = √P
+	// while spatial's stays constant — the paper's scalability argument.
+	base := testInputs()
+	scaled := base
+	scaled.Atoms *= 32
+	scaled.Pairs *= 32
+	sp := Estimate(scaled, SpatialDecomp, 2048)
+	fd := Estimate(scaled, ForceDecomp, 2048)
+	if fd.Total() <= sp.Total() {
+		t.Errorf("isogranular at 2048: force-decomp %.3fs beats spatial %.3fs", fd.Total(), sp.Total())
+	}
+	if fd.Ratio <= sp.Ratio {
+		t.Errorf("isogranular ratios: force-decomp %.3f <= spatial %.3f", fd.Ratio, sp.Ratio)
+	}
+}
+
+func TestReplicationCompetitiveAtSmallScale(t *testing.T) {
+	// On a handful of processors the simpler schemes are fine — that is
+	// why they were popular (paper: "useful, but lower speedups").
+	in := testInputs()
+	rep := Estimate(in, Replication, 8)
+	sp := Estimate(in, SpatialDecomp, 8)
+	if rep.Total() > 1.25*sp.Total() {
+		t.Errorf("replication at 8 procs %.3f vs spatial %.3f — should be close", rep.Total(), sp.Total())
+	}
+}
+
+func TestCompareAndFormat(t *testing.T) {
+	in := testInputs()
+	rows := Compare(in, []int{1, 16, 256})
+	if len(rows) != 3 || len(rows[0]) != int(numMethods) {
+		t.Fatalf("Compare shape %dx%d", len(rows), len(rows[0]))
+	}
+	out := Format(in, []int{1, 16, 256})
+	for _, want := range []string{"replication", "atom-decomp", "force-decomp", "spatial", "procs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Method(99).String() != "unknown" {
+		t.Error("unknown method string")
+	}
+}
+
+func TestEstimatePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("p=0 did not panic")
+		}
+	}()
+	Estimate(testInputs(), Replication, 0)
+}

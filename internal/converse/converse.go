@@ -1,0 +1,360 @@
+// Package converse is a discrete-event simulation of the message-driven
+// parallel machine that Charm++/Converse provides on real hardware
+// (paper §2.2). It models P virtual processors, each with a prioritized
+// scheduler queue of pending entry-method invocations. Handlers are real
+// Go code — they mutate object state and send messages — but time is
+// virtual: each handler charges model time for the work it represents,
+// and the network model charges per-message CPU overhead, latency, and
+// bandwidth.
+//
+// The simulation is deterministic: events are ordered by virtual time
+// with sequence-number tie-breaking, so a given program produces the same
+// schedule on every run.
+package converse
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gonamd/internal/trace"
+)
+
+// HandlerID identifies a registered message handler.
+type HandlerID int32
+
+// Handler is the code run when a message is scheduled. It receives a Ctx
+// for charging virtual time and sending messages, plus the message's
+// payload and modeled size in bytes.
+type Handler func(ctx *Ctx, payload any, size int)
+
+// NetworkModel is the communication cost model.
+type NetworkModel struct {
+	Latency      float64 // wire latency per message, s
+	PerByte      float64 // wire time per byte (1/bandwidth), s
+	SendOverhead float64 // CPU cost to allocate+send one message, s
+	SendPerByte  float64 // CPU cost per byte packed, s
+	RecvOverhead float64 // CPU cost charged on message receipt, s
+
+	// LocalSendOverhead and LocalRecvOverhead are the (much smaller)
+	// CPU costs of enqueueing and scheduling a message for an object on
+	// the same processor: no packing, no wire.
+	LocalSendOverhead float64
+	LocalRecvOverhead float64
+
+	// MulticastOptimized enables the paper's §4.2.3 optimization: one
+	// user-level packing/allocation for the whole multicast instead of
+	// per-destination packing. MulticastPerDest is the remaining CPU
+	// cost per destination in optimized mode.
+	MulticastOptimized bool
+	MulticastPerDest   float64
+}
+
+type msg struct {
+	to      int32
+	handler HandlerID
+	payload any
+	size    int
+	prio    int64
+	seq     uint64
+	local   bool // sent from the same PE (cheaper receive)
+}
+
+type event struct {
+	time float64
+	kind uint8 // 0 = execution completion, 1 = message arrival
+	seq  uint64
+	pe   int32
+	m    msg // arrival only
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type readyHeap []msg
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(msg)) }
+func (h *readyHeap) Pop() any     { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+// PE is one virtual processor.
+type PE struct {
+	id    int32
+	ready readyHeap
+	busy  bool
+
+	// Statistics.
+	BusyTime float64
+	MsgsRecv int
+}
+
+// Machine is the simulated parallel computer.
+type Machine struct {
+	Net   NetworkModel
+	Trace *trace.Log // nil or disabled = no tracing
+
+	handlers     []Handler
+	handlerNames []string
+	pes          []*PE
+	events       eventHeap
+	seq          uint64
+	now          float64
+	stopped      bool
+
+	// Aggregate statistics.
+	TotalMsgs  int
+	TotalBytes int
+}
+
+// NewMachine creates a machine with npe processors.
+func NewMachine(npe int, net NetworkModel) *Machine {
+	m := &Machine{Net: net}
+	m.pes = make([]*PE, npe)
+	for i := range m.pes {
+		m.pes[i] = &PE{id: int32(i)}
+	}
+	return m
+}
+
+// NumPE returns the processor count.
+func (m *Machine) NumPE() int { return len(m.pes) }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() float64 { return m.now }
+
+// Stop makes Run return after the current event.
+func (m *Machine) Stop() { m.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (m *Machine) Stopped() bool { return m.stopped }
+
+// RegisterHandler registers a named handler and returns its id. All
+// handlers must be registered before Run.
+func (m *Machine) RegisterHandler(name string, fn Handler) HandlerID {
+	m.handlers = append(m.handlers, fn)
+	m.handlerNames = append(m.handlerNames, name)
+	return HandlerID(len(m.handlers) - 1)
+}
+
+// Inject enqueues a message arriving at the given PE at the current
+// virtual time, for seeding the computation before Run.
+func (m *Machine) Inject(pe int, h HandlerID, payload any, size int, prio int64) {
+	m.validate(pe, h)
+	m.seq++
+	heap.Push(&m.events, event{
+		time: m.now, kind: 1, seq: m.seq, pe: int32(pe),
+		m: msg{to: int32(pe), handler: h, payload: payload, size: size, prio: prio, seq: m.seq},
+	})
+}
+
+func (m *Machine) validate(pe int, h HandlerID) {
+	if pe < 0 || pe >= len(m.pes) {
+		panic(fmt.Sprintf("converse: PE %d out of range [0,%d)", pe, len(m.pes)))
+	}
+	if int(h) < 0 || int(h) >= len(m.handlers) {
+		panic(fmt.Sprintf("converse: handler %d not registered", h))
+	}
+}
+
+// Run processes events until quiescence (no events left) or Stop. It
+// returns the final virtual time.
+func (m *Machine) Run() float64 {
+	for !m.stopped && len(m.events) > 0 {
+		ev := heap.Pop(&m.events).(event)
+		if ev.time < m.now {
+			panic("converse: time went backwards")
+		}
+		m.now = ev.time
+		pe := m.pes[ev.pe]
+		switch ev.kind {
+		case 0: // execution completed
+			pe.busy = false
+			if pe.ready.Len() > 0 {
+				m.startExec(pe)
+			}
+		case 1: // message arrival
+			heap.Push(&pe.ready, ev.m)
+			if !pe.busy {
+				m.startExec(pe)
+			}
+		}
+	}
+	return m.now
+}
+
+// startExec pops the best-priority ready message on pe and executes its
+// handler at the current virtual time, charging receive overhead, the
+// handler's own charges, and send costs; completion is scheduled at
+// start + total.
+func (m *Machine) startExec(pe *PE) {
+	mg := heap.Pop(&pe.ready).(msg)
+	pe.busy = true
+	pe.MsgsRecv++
+
+	ctx := &Ctx{m: m, pe: pe, start: m.now}
+	recvCost := m.Net.RecvOverhead
+	if mg.local {
+		recvCost = m.Net.LocalRecvOverhead
+	}
+	if recvCost > 0 {
+		ctx.charge(recvCost, trace.CatRecv)
+	}
+	m.handlers[mg.handler](ctx, mg.payload, mg.size)
+
+	end := m.now + ctx.dur
+	pe.BusyTime += ctx.dur
+	m.seq++
+	heap.Push(&m.events, event{time: end, kind: 0, seq: m.seq, pe: pe.id})
+
+	if m.Trace.Enabled() {
+		m.Trace.Add(trace.ExecRecord{
+			PE:    pe.id,
+			Obj:   ctx.obj,
+			Entry: m.handlerNames[mg.handler],
+			Start: m.now,
+			End:   end,
+			Spans: ctx.spans,
+		})
+	}
+
+	// Dispatch messages sent during this execution: they leave the PE at
+	// completion time and arrive after latency + transmission.
+	for _, out := range ctx.outbox {
+		arrive := end
+		if out.to != pe.id {
+			arrive += m.Net.Latency + float64(out.size)*m.Net.PerByte
+		}
+		m.seq++
+		out.seq = m.seq
+		heap.Push(&m.events, event{time: arrive, kind: 1, seq: m.seq, pe: out.to, m: out})
+		m.TotalMsgs++
+		m.TotalBytes += out.size
+	}
+}
+
+// PEStats returns per-PE busy time (virtual seconds) and message counts.
+func (m *Machine) PEStats() (busy []float64, msgs []int) {
+	busy = make([]float64, len(m.pes))
+	msgs = make([]int, len(m.pes))
+	for i, pe := range m.pes {
+		busy[i] = pe.BusyTime
+		msgs[i] = pe.MsgsRecv
+	}
+	return
+}
+
+// Ctx is passed to handlers; it charges virtual time and sends messages.
+type Ctx struct {
+	m      *Machine
+	pe     *PE
+	start  float64
+	dur    float64
+	spans  []trace.Span
+	outbox []msg
+	obj    int32
+}
+
+// PE returns the executing processor's id.
+func (c *Ctx) PE() int { return int(c.pe.id) }
+
+// NumPE returns the machine's processor count.
+func (c *Ctx) NumPE() int { return len(c.m.pes) }
+
+// Now returns the virtual time at the current point of the execution
+// (start time plus time charged so far).
+func (c *Ctx) Now() float64 { return c.start + c.dur }
+
+// Machine returns the underlying machine (e.g. to Stop it).
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// SetObj tags the trace record of this execution with an object id.
+func (c *Ctx) SetObj(obj int32) { c.obj = obj }
+
+// Charge consumes dt seconds of virtual CPU time in the given category.
+func (c *Ctx) Charge(dt float64, cat trace.Category) {
+	if dt < 0 {
+		panic("converse: negative charge")
+	}
+	c.charge(dt, cat)
+}
+
+func (c *Ctx) charge(dt float64, cat trace.Category) {
+	if dt == 0 {
+		return
+	}
+	c.dur += dt
+	// Merge with previous span of the same category to keep records small.
+	if n := len(c.spans); n > 0 && c.spans[n-1].Cat == cat {
+		c.spans[n-1].Dur += dt
+		return
+	}
+	c.spans = append(c.spans, trace.Span{Cat: cat, Dur: dt})
+}
+
+// Elapsed returns the virtual CPU time charged so far in this execution.
+func (c *Ctx) Elapsed() float64 { return c.dur }
+
+// Send queues a message to another PE, charging the sender's CPU cost.
+// The message leaves when this execution completes. Sends to the local
+// PE charge only LocalSendOverhead (no packing, no wire).
+func (c *Ctx) Send(to int, h HandlerID, payload any, size int, prio int64) {
+	c.m.validate(to, h)
+	local := to == int(c.pe.id)
+	if local {
+		c.charge(c.m.Net.LocalSendOverhead, trace.CatComm)
+	} else {
+		c.charge(c.m.Net.SendOverhead+float64(size)*c.m.Net.SendPerByte, trace.CatComm)
+	}
+	c.outbox = append(c.outbox, msg{to: int32(to), handler: h, payload: payload, size: size, prio: prio, local: local})
+}
+
+// SendFree queues a message without charging any CPU cost. Higher layers
+// (e.g. the charm object runtime's optimized multicast) use it when they
+// account for packing costs themselves; wire latency and bandwidth still
+// apply.
+func (c *Ctx) SendFree(to int, h HandlerID, payload any, size int, prio int64) {
+	c.m.validate(to, h)
+	c.outbox = append(c.outbox, msg{to: int32(to), handler: h, payload: payload, size: size, prio: prio, local: to == int(c.pe.id)})
+}
+
+// Multicast sends the same payload to every destination. In naive mode
+// each destination pays the full packing cost (the behaviour the paper
+// found consuming half of the integration method); with
+// Net.MulticastOptimized the payload is packed once and each destination
+// costs only MulticastPerDest.
+func (c *Ctx) Multicast(dests []int32, h HandlerID, payload any, size int, prio int64) {
+	if len(dests) == 0 {
+		return
+	}
+	if c.m.Net.MulticastOptimized {
+		c.charge(c.m.Net.SendOverhead+float64(size)*c.m.Net.SendPerByte, trace.CatComm)
+		c.charge(float64(len(dests))*c.m.Net.MulticastPerDest, trace.CatComm)
+		for _, d := range dests {
+			c.m.validate(int(d), h)
+			c.outbox = append(c.outbox, msg{to: d, handler: h, payload: payload, size: size, prio: prio})
+		}
+	} else {
+		for _, d := range dests {
+			c.Send(int(d), h, payload, size, prio)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"gonamd/internal/ldb"
+)
+
+// SetLoadDrift makes compute-object work change slowly over time, modeling
+// the paper's "slow large-scale movements of atoms in the simulation":
+// computes in the upper half of the box (by their first patch's z
+// coordinate) gain `rate` fraction of work per step while those in the
+// lower half lose it, as if density were migrating upward. Call before
+// Run or RunDrift.
+func (s *Sim) SetLoadDrift(rate float64) {
+	halfZ := s.w.Grid.Box.Z / 2
+	for _, cs := range s.computes {
+		c := s.w.Grid.Center(cs.patches[0])
+		if c.Z >= halfZ {
+			cs.drift = rate
+		} else {
+			cs.drift = -rate
+		}
+	}
+}
+
+// RunDrift first executes the standard three-stage balanced protocol,
+// then keeps running: epochs of stepsPerEpoch steps each, with the
+// compute loads drifting per SetLoadDrift. When periodicRefine is true a
+// refinement pass runs between epochs (the paper's "periodically
+// thereafter"); otherwise the mapping is frozen after the initial
+// balancing. It returns the average measured step duration of each
+// drift epoch.
+func (s *Sim) RunDrift(epochs, stepsPerEpoch int, periodicRefine bool) []float64 {
+	cfg := s.cfg
+	// Standard three-stage protocol first.
+	warmEnd := cfg.WarmSteps
+	refineEnd := warmEnd + cfg.RefineSteps
+	s.totalSteps = refineEnd + epochs*stepsPerEpoch
+	s.runEpoch(warmEnd)
+	s.loadBalance(cfg.WarmSteps,
+		&ldb.Greedy{Overload: cfg.GreedyOverload},
+		&ldb.Refine{Overload: cfg.RefineOverload})
+	s.runEpoch(refineEnd)
+	s.loadBalance(cfg.RefineSteps, &ldb.Refine{Overload: cfg.RefineOverload})
+
+	out := make([]float64, 0, epochs)
+	start := refineEnd
+	for e := 0; e < epochs; e++ {
+		end := start + stepsPerEpoch
+		s.runEpoch(end)
+		// Average the durations of this epoch's steps, skipping the
+		// first (it includes the pause boundary).
+		sum, n := 0.0, 0
+		for step := start + 1; step < end; step++ {
+			sum += s.stepEnd[step] - s.stepEnd[step-1]
+			n++
+		}
+		out = append(out, sum/float64(n))
+		if periodicRefine && e < epochs-1 {
+			s.loadBalance(stepsPerEpoch, &ldb.Refine{Overload: cfg.RefineOverload})
+		}
+		start = end
+	}
+	return out
+}

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gonamd/internal/charm"
+	"gonamd/internal/converse"
+	"gonamd/internal/ldb"
+	"gonamd/internal/machine"
+	"gonamd/internal/spatial"
+	"gonamd/internal/trace"
+	"gonamd/internal/vec"
+)
+
+// Config controls one cluster simulation.
+type Config struct {
+	PEs   int
+	Model machine.Model
+
+	// SplitSelf splits within-cube nonbonded computes by atom count (the
+	// paper's first grainsize improvement, already present in the
+	// "initial" Figure 1 configuration).
+	SplitSelf bool
+	// GrainSplit enables §4.2.1 grainsize control proper: heavy
+	// cube-pair (face) computes are also split into several migratable
+	// pieces.
+	GrainSplit bool
+	// SplitBonded enables §4.2.2: intra-cube bonded work becomes its own
+	// migratable object; only the (small) inter-cube remainder stays
+	// pinned. When false, all bonded work per base patch is one pinned
+	// object.
+	SplitBonded bool
+	// MulticastOpt enables §4.2.3's optimized multicast.
+	MulticastOpt bool
+	// TargetGrain is the grainsize-splitting threshold in seconds of
+	// this machine's CPU. Zero selects the paper's recommended ~5 ms
+	// scaled by the machine's CPU factor.
+	TargetGrain float64
+
+	// Load balancing schedule (paper §3.2 three stages): WarmSteps of
+	// free running, then greedy+refine, RefineSteps more, then refine,
+	// then MeasureSteps whose durations are reported.
+	WarmSteps    int
+	RefineSteps  int
+	MeasureSteps int
+	// DisableLB skips both balancing passes (static placement only).
+	DisableLB bool
+	// DiffusionLB replaces the centralized greedy+refine strategies with
+	// the distributed ring-diffusion strategy (for ablations comparing
+	// the paper's §2.2 centralized-vs-distributed discussion).
+	DiffusionLB bool
+
+	GreedyOverload float64 // 0 = ldb default
+	RefineOverload float64
+
+	CollectTrace bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.TargetGrain == 0 {
+		c.TargetGrain = 5e-3 * c.Model.CPUFactor
+	}
+	if c.WarmSteps == 0 {
+		c.WarmSteps = 3
+	}
+	if c.RefineSteps == 0 {
+		c.RefineSteps = 3
+	}
+	if c.MeasureSteps == 0 {
+		c.MeasureSteps = 6
+	}
+}
+
+// Result reports one simulation's outcome.
+type Result struct {
+	PEs           int
+	AvgStep       float64   // mean measured step duration, virtual seconds
+	StepDurations []float64 // the measured step durations
+	SeqTime       float64   // modeled sequential step time
+	Counts        machine.Counts
+	GFLOPS        float64
+
+	NumComputes        int
+	MaxProxiesPerPatch int
+	TotalMsgs          int
+	TotalBytes         int
+	LBStats            []ldb.Stats // per balancing pass, post-assignment
+
+	// MeasureT0/T1 bound the measured-steps window in virtual time (for
+	// audits and timelines); Trace is non-nil when CollectTrace was set.
+	MeasureT0, MeasureT1 float64
+	Trace                *trace.Log
+}
+
+// proxyForceMsg marks a combined force message from a proxy (as opposed
+// to a local compute deposit), so the home patch can charge per-atom
+// force-combining cost for it.
+type proxyForceMsg struct{ step int }
+
+// message priority classes; lower runs first. Step ordering dominates.
+func prio(step, class int) int64 { return int64(step)*4 + int64(class) }
+
+const (
+	classPositions = 0
+	classDeposit   = 1
+	classForce     = 2
+)
+
+type patchState struct {
+	id            int
+	atoms         int
+	step          int
+	expect        int
+	got           map[int]int
+	proxies       []charm.ObjID
+	locals        []charm.ObjID
+	integrateTime float64
+	posBytes      int
+}
+
+type proxyState struct {
+	patch    int
+	home     charm.ObjID
+	computes []charm.ObjID
+	expect   int
+	got      map[int]int
+	frcBytes int
+}
+
+type target struct {
+	obj   charm.ObjID
+	entry charm.EntryID
+}
+
+type computeState struct {
+	idx        int
+	cat        trace.Category
+	patches    []int
+	work       float64
+	drift      float64 // per-step multiplicative work change (see SetLoadDrift)
+	migratable bool
+	need       int
+	got        map[int]int
+	reps       []target
+}
+
+// Sim is one cluster simulation of a workload.
+type Sim struct {
+	cfg Config
+	w   *Workload
+	m   *converse.Machine
+	rt  *charm.Runtime
+
+	ePatchStart   charm.EntryID
+	ePatchForce   charm.EntryID
+	eProxyPos     charm.EntryID
+	eProxyDeposit charm.EntryID
+	eNotify       charm.EntryID
+
+	patchHome  []int
+	patchObj   []charm.ObjID
+	patches    []*patchState
+	computeObj []charm.ObjID
+	computes   []*computeState
+	proxyByKey map[[2]int]charm.ObjID
+	proxySt    map[charm.ObjID]*proxyState
+
+	totalSteps int
+	pauseAt    int
+	stepEnd    []float64
+	busyBase   []float64
+
+	lbStats []ldb.Stats
+}
+
+// NewSim builds the decomposition for a workload under a configuration.
+func NewSim(w *Workload, cfg Config) (*Sim, error) {
+	if cfg.PEs <= 0 {
+		return nil, fmt.Errorf("core: PEs = %d", cfg.PEs)
+	}
+	cfg.fillDefaults()
+	net := cfg.Model.Net
+	net.MulticastOptimized = cfg.MulticastOpt
+
+	s := &Sim{
+		cfg:        cfg,
+		w:          w,
+		m:          converse.NewMachine(cfg.PEs, net),
+		proxyByKey: map[[2]int]charm.ObjID{},
+		proxySt:    map[charm.ObjID]*proxyState{},
+	}
+	if cfg.CollectTrace {
+		s.m.Trace = trace.NewLog()
+	}
+	s.rt = charm.NewRuntime(s.m)
+	s.registerEntries()
+	s.placePatches()
+	s.createComputes()
+	s.wire()
+	return s, nil
+}
+
+func (s *Sim) registerEntries() {
+	s.ePatchStart = s.rt.RegisterEntry("patch.start", func(c *charm.Ctx, obj, payload any, size int) {
+		s.sendPositions(c, obj.(*patchState))
+	})
+	s.ePatchForce = s.rt.RegisterEntry("patch.force", func(c *charm.Ctx, obj, payload any, size int) {
+		ps := obj.(*patchState)
+		var step int
+		switch m := payload.(type) {
+		case proxyForceMsg:
+			// Combining a remote force contribution costs per-atom work
+			// (part of the integration method's growth the paper notes).
+			c.Charge(float64(ps.atoms)*s.cfg.Model.PerAtomMsg, trace.CatIntegration)
+			step = m.step
+		case int:
+			step = m
+		}
+		ps.got[step]++
+		if ps.got[step] < ps.expect {
+			return
+		}
+		delete(ps.got, step)
+		// All forces for this step are in: integrate, then begin the
+		// next step by distributing new positions (the critical entry
+		// method of Figures 3-4).
+		c.Charge(ps.integrateTime, trace.CatIntegration)
+		s.recordStepDone(ps.step, c.Now())
+		ps.step++
+		if ps.step >= s.totalSteps || ps.step == s.pauseAt {
+			return
+		}
+		s.sendPositions(c, ps)
+	})
+	s.eProxyPos = s.rt.RegisterEntry("proxy.positions", func(c *charm.Ctx, obj, payload any, size int) {
+		px := obj.(*proxyState)
+		step := payload.(int)
+		// Unpacking the coordinate message and staging the coordinates
+		// for the local computes costs per-atom work (heavier than the
+		// home side's force combine).
+		c.Charge(2*float64(s.patches[px.patch].atoms)*s.cfg.Model.PerAtomMsg, trace.CatComm)
+		for _, comp := range px.computes {
+			c.Send(comp, s.eNotify, step, 16, prio(step, classPositions))
+		}
+	})
+	s.eProxyDeposit = s.rt.RegisterEntry("proxy.deposit", func(c *charm.Ctx, obj, payload any, size int) {
+		px := obj.(*proxyState)
+		step := payload.(int)
+		px.got[step]++
+		if px.got[step] < px.expect {
+			return
+		}
+		delete(px.got, step)
+		c.Send(px.home, s.ePatchForce, proxyForceMsg{step: step}, px.frcBytes, prio(step, classForce))
+	})
+	s.eNotify = s.rt.RegisterEntry("compute.notify", func(c *charm.Ctx, obj, payload any, size int) {
+		cs := obj.(*computeState)
+		step := payload.(int)
+		cs.got[step]++
+		if cs.got[step] < cs.need {
+			return
+		}
+		delete(cs.got, step)
+		c.Charge(cs.work, cs.cat)
+		if cs.drift != 0 {
+			cs.work *= 1 + cs.drift
+		}
+		for _, rep := range cs.reps {
+			c.Send(rep.obj, rep.entry, step, 16, prio(step, classDeposit))
+		}
+	})
+}
+
+// placePatches distributes home patches by recursive coordinate bisection
+// weighted by atom counts (paper §3.2 stage one).
+func (s *Sim) placePatches() {
+	np := s.w.Grid.NumPatches()
+	cs := make([]vec.V3, np)
+	weights := make([]float64, np)
+	for p := 0; p < np; p++ {
+		cs[p] = s.w.Grid.Center(p)
+		weights[p] = float64(s.w.PatchAtoms[p])
+	}
+	s.patchHome = spatial.RCB(cs, weights, s.cfg.PEs)
+
+	s.patchObj = make([]charm.ObjID, np)
+	s.patches = make([]*patchState, np)
+	for p := 0; p < np; p++ {
+		ps := &patchState{
+			id:            p,
+			atoms:         s.w.PatchAtoms[p],
+			got:           map[int]int{},
+			integrateTime: float64(s.w.PatchAtoms[p]) * s.cfg.Model.PerAtomIntegrate,
+			posBytes:      32 * s.w.PatchAtoms[p],
+		}
+		s.patches[p] = ps
+		s.patchObj[p] = s.rt.CreateObj(fmt.Sprintf("patch%d", p), s.patchHome[p], ps, false)
+	}
+}
+
+// nbWork converts a pair count to modeled seconds.
+func (s *Sim) nbWork(c PairCount) float64 {
+	return float64(c.Within)*s.cfg.Model.PerPair + float64(c.Listed-c.Within)*s.cfg.Model.PerListed
+}
+
+// addCompute creates one compute object.
+func (s *Sim) addCompute(name string, pe int, cat trace.Category, patches []int, work float64, migratable bool) {
+	cs := &computeState{
+		idx:        len(s.computes),
+		cat:        cat,
+		patches:    patches,
+		work:       work,
+		migratable: migratable,
+		need:       len(patches),
+		got:        map[int]int{},
+	}
+	s.computes = append(s.computes, cs)
+	s.computeObj = append(s.computeObj, s.rt.CreateObj(name, pe, cs, migratable))
+}
+
+// pieces returns how many pieces a compute of the given work is split
+// into to meet the target grainsize.
+func (s *Sim) pieces(work float64) int {
+	if work <= s.cfg.TargetGrain {
+		return 1
+	}
+	return int(math.Ceil(work / s.cfg.TargetGrain))
+}
+
+// createComputes builds the hybrid decomposition's compute objects and
+// statically places them on the base patch's home processor, which keeps
+// every patch's proxy count at most 7 (paper §3.2 stage one).
+func (s *Sim) createComputes() {
+	g := s.w.Grid
+	// Nonbonded self computes.
+	for p := 0; p < g.NumPatches(); p++ {
+		work := s.nbWork(s.w.Self[p])
+		k := 1
+		if s.cfg.SplitSelf || s.cfg.GrainSplit {
+			k = s.pieces(work)
+		}
+		for piece := 0; piece < k; piece++ {
+			s.addCompute(fmt.Sprintf("nbself%d.%d", p, piece), s.patchHome[p],
+				trace.CatNonbonded, []int{p}, work/float64(k), true)
+		}
+	}
+	// Nonbonded pair computes, placed at the pair's base patch home.
+	for pi, pr := range s.w.Pairs {
+		work := s.nbWork(s.w.PairCounts[pi])
+		base := g.BaseOf([]int{pr[0], pr[1]})
+		k := 1
+		if s.cfg.GrainSplit {
+			k = s.pieces(work)
+		}
+		for piece := 0; piece < k; piece++ {
+			s.addCompute(fmt.Sprintf("nbpair%d-%d.%d", pr[0], pr[1], piece), s.patchHome[base],
+				trace.CatNonbonded, []int{pr[0], pr[1]}, work/float64(k), true)
+		}
+	}
+	// Bonded computes.
+	interTerms := make(map[int]BondedGroup, len(s.w.InterGroups))
+	for _, gr := range s.w.InterGroups {
+		interTerms[gr.Base] = gr
+	}
+	if s.cfg.SplitBonded {
+		// §4.2.2: intra-cube bonded work is migratable (communicates
+		// exactly like a nonbonded self compute); inter-cube remainders
+		// stay pinned at the base patch's home.
+		for p := 0; p < g.NumPatches(); p++ {
+			if s.w.IntraTerms[p] > 0 {
+				s.addCompute(fmt.Sprintf("bintra%d", p), s.patchHome[p], trace.CatBonded,
+					[]int{p}, float64(s.w.IntraTerms[p])*s.cfg.Model.PerBonded, true)
+			}
+		}
+		for _, gr := range s.w.InterGroups {
+			s.addCompute(fmt.Sprintf("binter%d", gr.Base), s.patchHome[gr.Base], trace.CatBonded,
+				append([]int{}, gr.Patches...), float64(gr.Terms)*s.cfg.Model.PerBonded, false)
+		}
+	} else {
+		// Pre-§4.2.2: one pinned bonded object per patch carrying both
+		// its intra terms and any inter group based there.
+		for p := 0; p < g.NumPatches(); p++ {
+			terms := s.w.IntraTerms[p]
+			patches := []int{p}
+			if gr, ok := interTerms[p]; ok {
+				terms += gr.Terms
+				patches = unionInts(patches, gr.Patches)
+			}
+			if terms == 0 {
+				continue
+			}
+			s.addCompute(fmt.Sprintf("bonded%d", p), s.patchHome[p], trace.CatBonded,
+				patches, float64(terms)*s.cfg.Model.PerBonded, false)
+		}
+	}
+}
+
+func unionInts(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// wire rebuilds the proxy structure and message expectations from the
+// computes' current locations. Must be called while the machine is
+// quiescent.
+func (s *Sim) wire() {
+	// Group compute objects by (patch, PE), deterministically.
+	type key struct{ patch, pe int }
+	compsFor := map[key][]charm.ObjID{}
+	var keys []key
+	for ci, cs := range s.computes {
+		pe := s.rt.Location(s.computeObj[ci])
+		for _, p := range cs.patches {
+			k := key{p, pe}
+			if compsFor[k] == nil {
+				keys = append(keys, k)
+			}
+			compsFor[k] = append(compsFor[k], s.computeObj[ci])
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].patch != keys[b].patch {
+			return keys[a].patch < keys[b].patch
+		}
+		return keys[a].pe < keys[b].pe
+	})
+
+	for _, ps := range s.patches {
+		ps.proxies = ps.proxies[:0]
+		ps.locals = ps.locals[:0]
+	}
+	activeProxies := map[charm.ObjID]bool{}
+	for _, k := range keys {
+		ps := s.patches[k.patch]
+		if k.pe == s.patchHome[k.patch] {
+			ps.locals = append(ps.locals, compsFor[k]...)
+			continue
+		}
+		pk := [2]int{k.patch, k.pe}
+		pobj, ok := s.proxyByKey[pk]
+		if !ok {
+			px := &proxyState{
+				patch:    k.patch,
+				home:     s.patchObj[k.patch],
+				got:      map[int]int{},
+				frcBytes: 24 * ps.atoms,
+			}
+			pobj = s.rt.CreateObj(fmt.Sprintf("proxy%d@%d", k.patch, k.pe), k.pe, px, false)
+			s.proxyByKey[pk] = pobj
+			s.proxySt[pobj] = px
+		}
+		px := s.proxySt[pobj]
+		px.computes = append(px.computes[:0], compsFor[k]...)
+		px.expect = len(px.computes)
+		ps.proxies = append(ps.proxies, pobj)
+		activeProxies[pobj] = true
+	}
+	for _, ps := range s.patches {
+		ps.expect = len(ps.locals) + len(ps.proxies)
+	}
+	// Compute force-deposit targets.
+	for ci, cs := range s.computes {
+		pe := s.rt.Location(s.computeObj[ci])
+		cs.reps = cs.reps[:0]
+		for _, p := range cs.patches {
+			if pe == s.patchHome[p] {
+				cs.reps = append(cs.reps, target{obj: s.patchObj[p], entry: s.ePatchForce})
+			} else {
+				cs.reps = append(cs.reps, target{obj: s.proxyByKey[[2]int{p, pe}], entry: s.eProxyDeposit})
+			}
+		}
+	}
+}
+
+// sendPositions is the tail of the integration method: multicast the
+// patch's new positions to its proxies and notify co-located computes.
+func (s *Sim) sendPositions(c *charm.Ctx, ps *patchState) {
+	c.Multicast(ps.proxies, s.eProxyPos, ps.step, ps.posBytes, prio(ps.step, classPositions))
+	for _, comp := range ps.locals {
+		c.Send(comp, s.eNotify, ps.step, 16, prio(ps.step, classPositions))
+	}
+}
+
+func (s *Sim) recordStepDone(step int, t float64) {
+	for len(s.stepEnd) <= step {
+		s.stepEnd = append(s.stepEnd, 0)
+	}
+	if t > s.stepEnd[step] {
+		s.stepEnd[step] = t
+	}
+}
+
+// resume injects a start message into every patch (used at the beginning
+// and after each load-balancing pause).
+func (s *Sim) resume() {
+	for p := range s.patches {
+		s.rt.Inject(s.patchObj[p], s.ePatchStart, nil, 16, prio(s.patches[p].step, classPositions))
+	}
+}
+
+// runEpoch runs the machine until every patch has completed `until`
+// steps.
+func (s *Sim) runEpoch(until int) {
+	s.pauseAt = until
+	s.resume()
+	s.m.Run()
+	for _, ps := range s.patches {
+		want := until
+		if want > s.totalSteps {
+			want = s.totalSteps
+		}
+		if ps.step != want {
+			panic(fmt.Sprintf("core: patch %d stopped at step %d, want %d", ps.id, ps.step, want))
+		}
+	}
+}
+
+// loadBalance runs the given strategies in sequence over the loads
+// measured since the last reset, migrates objects, and rewires.
+func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
+	loads := s.rt.Loads()
+	busy, _ := s.m.PEStats()
+	if s.busyBase == nil {
+		s.busyBase = make([]float64, s.cfg.PEs)
+	}
+
+	prob := &ldb.Problem{
+		NumPE:      s.cfg.PEs,
+		NumPatches: s.w.Grid.NumPatches(),
+		PatchHome:  s.patchHome,
+		Background: make([]float64, s.cfg.PEs),
+	}
+	// Background: everything the PE did that is not compute-object work
+	// (integration, proxies, message handling), per step.
+	computeLoad := make([]float64, s.cfg.PEs)
+	for ci := range s.computes {
+		pe := s.rt.Location(s.computeObj[ci])
+		computeLoad[pe] += loads[s.computeObj[ci]]
+	}
+	for pe := 0; pe < s.cfg.PEs; pe++ {
+		bg := (busy[pe] - s.busyBase[pe] - computeLoad[pe]) / float64(steps)
+		if bg < 0 {
+			bg = 0
+		}
+		prob.Background[pe] = bg
+	}
+	for ci, cs := range s.computes {
+		prob.Objects = append(prob.Objects, ldb.Object{
+			Load:       loads[s.computeObj[ci]] / float64(steps),
+			Patches:    cs.patches,
+			Migratable: cs.migratable,
+			PE:         s.rt.Location(s.computeObj[ci]),
+		})
+	}
+
+	assign := make([]int, len(prob.Objects))
+	for i, o := range prob.Objects {
+		assign[i] = o.PE
+	}
+	for _, strat := range strategies {
+		for i := range prob.Objects {
+			prob.Objects[i].PE = assign[i]
+		}
+		assign = strat.Map(prob)
+	}
+	s.lbStats = append(s.lbStats, ldb.Evaluate(prob, assign))
+
+	for ci := range s.computes {
+		if s.computes[ci].migratable && assign[ci] != s.rt.Location(s.computeObj[ci]) {
+			s.rt.Migrate(s.computeObj[ci], assign[ci])
+		}
+	}
+	s.wire()
+	s.rt.ResetLoads()
+	busy, _ = s.m.PEStats()
+	copy(s.busyBase, busy)
+}
+
+// Run executes the full benchmark protocol and returns the result.
+func (s *Sim) Run() *Result {
+	cfg := s.cfg
+	if cfg.DisableLB {
+		s.totalSteps = cfg.MeasureSteps + 1
+		s.runEpoch(s.totalSteps)
+	} else {
+		first := []ldb.Strategy{
+			&ldb.Greedy{Overload: cfg.GreedyOverload},
+			&ldb.Refine{Overload: cfg.RefineOverload},
+		}
+		second := []ldb.Strategy{&ldb.Refine{Overload: cfg.RefineOverload}}
+		if cfg.DiffusionLB {
+			first = []ldb.Strategy{&ldb.Diffusion{}}
+			second = []ldb.Strategy{&ldb.Diffusion{}}
+		}
+		s.totalSteps = cfg.WarmSteps + cfg.RefineSteps + cfg.MeasureSteps + 1
+		s.runEpoch(cfg.WarmSteps)
+		s.loadBalance(cfg.WarmSteps, first...)
+		s.runEpoch(cfg.WarmSteps + cfg.RefineSteps)
+		s.loadBalance(cfg.RefineSteps, second...)
+		s.runEpoch(s.totalSteps)
+	}
+
+	res := &Result{
+		PEs:         cfg.PEs,
+		SeqTime:     cfg.Model.SeqTime(s.w.Counts()),
+		Counts:      s.w.Counts(),
+		NumComputes: len(s.computes),
+		TotalMsgs:   s.m.TotalMsgs,
+		TotalBytes:  s.m.TotalBytes,
+		LBStats:     s.lbStats,
+		Trace:       s.m.Trace,
+	}
+	// Measured steps: the last MeasureSteps durations (the first step
+	// after the final pause is excluded via the extra +1 step above).
+	first := s.totalSteps - cfg.MeasureSteps
+	for step := first; step < s.totalSteps; step++ {
+		res.StepDurations = append(res.StepDurations, s.stepEnd[step]-s.stepEnd[step-1])
+	}
+	sum := 0.0
+	for _, d := range res.StepDurations {
+		sum += d
+	}
+	res.AvgStep = sum / float64(len(res.StepDurations))
+	res.MeasureT0 = s.stepEnd[first-1]
+	res.MeasureT1 = s.stepEnd[s.totalSteps-1]
+	res.GFLOPS = cfg.Model.GFLOPS(res.Counts, res.AvgStep)
+	res.MaxProxiesPerPatch = s.maxProxies()
+	return res
+}
+
+func (s *Sim) maxProxies() int {
+	maxP := 0
+	for _, ps := range s.patches {
+		if len(ps.proxies) > maxP {
+			maxP = len(ps.proxies)
+		}
+	}
+	return maxP
+}
+
+// ProxiesPerPatch returns the current number of proxies of each patch.
+func (s *Sim) ProxiesPerPatch() []int {
+	out := make([]int, len(s.patches))
+	for i, ps := range s.patches {
+		out[i] = len(ps.proxies)
+	}
+	return out
+}

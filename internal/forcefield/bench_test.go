@@ -1,0 +1,60 @@
+package forcefield
+
+import (
+	"testing"
+
+	"gonamd/internal/vec"
+	"gonamd/internal/xrand"
+)
+
+// Kernel micro-benchmarks: the per-pair and per-term costs these measure
+// are the real-hardware analogues of the machine model's calibrated
+// constants.
+
+func BenchmarkNonbondedPair(b *testing.B) {
+	p := Standard(12.0)
+	rng := xrand.New(1)
+	r2s := make([]float64, 1024)
+	for i := range r2s {
+		r := rng.Range(2, 11.9)
+		r2s[i] = r * r
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		evdw, eelec, f := p.Nonbonded(TypeOW, TypeHW, -0.834, 0.417, r2s[i%1024], false)
+		acc += evdw + eelec + f
+	}
+	_ = acc
+}
+
+func BenchmarkBondKernel(b *testing.B) {
+	p := Standard(12.0)
+	box := vec.New(50, 50, 50)
+	ri, rj := vec.New(10, 10, 10), vec.New(11.4, 10.2, 9.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = p.BondForce(BondCC, ri, rj, box)
+	}
+}
+
+func BenchmarkAngleKernel(b *testing.B) {
+	p := Standard(12.0)
+	box := vec.New(50, 50, 50)
+	ri, rj, rk := vec.New(10, 10, 10), vec.New(11.4, 10.2, 9.9), vec.New(12.1, 11.3, 10.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = p.AngleForce(AngleCCC, ri, rj, rk, box)
+	}
+}
+
+func BenchmarkDihedralKernel(b *testing.B) {
+	p := Standard(12.0)
+	box := vec.New(50, 50, 50)
+	ri, rj := vec.New(10, 10, 10), vec.New(11.4, 10.2, 9.9)
+	rk, rl := vec.New(12.1, 11.3, 10.4), vec.New(13.3, 11.1, 11.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _, _ = p.DihedralForce(DihedralBackbone, ri, rj, rk, rl, box)
+	}
+}

@@ -1,0 +1,149 @@
+package forcefield
+
+import (
+	"math"
+
+	"gonamd/internal/vec"
+)
+
+// BondForce evaluates a harmonic bond between atoms at ri and rj under
+// periodic boundary conditions. It returns the forces on i and j and the
+// bond energy.
+func (p *Params) BondForce(typ int32, ri, rj, box vec.V3) (fi, fj vec.V3, e float64) {
+	bt := p.BondTypes[typ]
+	d := vec.MinImage(ri, rj, box)
+	r := d.Norm()
+	dr := r - bt.R0
+	e = bt.K * dr * dr
+	// F_i = -dE/dr · r̂ = -2K(r-r0) · d/r
+	f := d.Scale(-2 * bt.K * dr / r)
+	return f, f.Neg(), e
+}
+
+// AngleForce evaluates a harmonic angle i-j-k (j central). It returns the
+// forces on the three atoms and the angle energy.
+func (p *Params) AngleForce(typ int32, ri, rj, rk, box vec.V3) (fi, fj, fk vec.V3, e float64) {
+	at := p.AngleTypes[typ]
+	a := vec.MinImage(ri, rj, box)
+	b := vec.MinImage(rk, rj, box)
+	la, lb := a.Norm(), b.Norm()
+	cosT := a.Dot(b) / (la * lb)
+	cosT = clamp(cosT, -1, 1)
+	theta := math.Acos(cosT)
+	dT := theta - at.Theta0
+	e = at.K * dT * dT
+
+	sinT := math.Sqrt(1 - cosT*cosT)
+	if sinT < 1e-8 {
+		// Collinear geometry: the gradient direction is undefined; the
+		// force magnitude is finite only for θ0 = 0 or π. Return zero
+		// force (energy still reported) — matches common MD practice.
+		return vec.Zero, vec.Zero, vec.Zero, e
+	}
+	dEdT := 2 * at.K * dT
+	// ∂θ/∂ri = (cosθ·â - b̂) / (|a| sinθ), and symmetrically for k.
+	ahat := a.Scale(1 / la)
+	bhat := b.Scale(1 / lb)
+	gi := ahat.Scale(cosT).Sub(bhat).Scale(1 / (la * sinT))
+	gk := bhat.Scale(cosT).Sub(ahat).Scale(1 / (lb * sinT))
+	fi = gi.Scale(-dEdT)
+	fk = gk.Scale(-dEdT)
+	fj = fi.Add(fk).Neg()
+	return fi, fj, fk, e
+}
+
+// dihedralAngle computes the torsion angle φ around j-k and the geometry
+// needed to distribute −dE/dφ onto the four atoms.
+type dihedralGeom struct {
+	phi                float64
+	n1, n2, b1, b2, b3 vec.V3
+	n1sq, n2sq, lb2    float64
+	degenerate         bool
+}
+
+func dihedral(ri, rj, rk, rl, box vec.V3) dihedralGeom {
+	var g dihedralGeom
+	g.b1 = vec.MinImage(rj, ri, box)
+	g.b2 = vec.MinImage(rk, rj, box)
+	g.b3 = vec.MinImage(rl, rk, box)
+	g.n1 = g.b1.Cross(g.b2)
+	g.n2 = g.b2.Cross(g.b3)
+	g.n1sq = g.n1.Norm2()
+	g.n2sq = g.n2.Norm2()
+	g.lb2 = g.b2.Norm()
+	if g.n1sq < 1e-12 || g.n2sq < 1e-12 || g.lb2 < 1e-8 {
+		g.degenerate = true
+		return g
+	}
+	// φ = atan2((n1 × n2)·b̂2, n1·n2)
+	y := g.n1.Cross(g.n2).Dot(g.b2) / g.lb2
+	x := g.n1.Dot(g.n2)
+	g.phi = math.Atan2(y, x)
+	return g
+}
+
+// forces distributes dEdPhi = dE/dφ onto the four atoms (Bekker's
+// formulation; the four forces sum to zero and exert no net torque).
+func (g *dihedralGeom) forces(dEdPhi float64) (fi, fj, fk, fl vec.V3) {
+	if g.degenerate {
+		return vec.Zero, vec.Zero, vec.Zero, vec.Zero
+	}
+	fi = g.n1.Scale(dEdPhi * g.lb2 / g.n1sq)
+	fl = g.n2.Scale(-dEdPhi * g.lb2 / g.n2sq)
+	t := g.b1.Dot(g.b2) / (g.lb2 * g.lb2)
+	s := g.b3.Dot(g.b2) / (g.lb2 * g.lb2)
+	fj = fi.Scale(-(1 + t)).Add(fl.Scale(s))
+	fk = fi.Add(fj).Add(fl).Neg()
+	return fi, fj, fk, fl
+}
+
+// DihedralForce evaluates a cosine torsion i-j-k-l. It returns the forces
+// on the four atoms and the torsion energy.
+func (p *Params) DihedralForce(typ int32, ri, rj, rk, rl, box vec.V3) (fi, fj, fk, fl vec.V3, e float64) {
+	dt := p.DihedralTypes[typ]
+	g := dihedral(ri, rj, rk, rl, box)
+	if g.degenerate {
+		return vec.Zero, vec.Zero, vec.Zero, vec.Zero, 0
+	}
+	n := float64(dt.N)
+	e = dt.K * (1 + math.Cos(n*g.phi-dt.Delta))
+	dEdPhi := -dt.K * n * math.Sin(n*g.phi-dt.Delta)
+	fi, fj, fk, fl = g.forces(dEdPhi)
+	return fi, fj, fk, fl, e
+}
+
+// ImproperForce evaluates a harmonic improper torsion i-j-k-l:
+// E = K (ψ - ψ0)² with ψ the dihedral angle, difference wrapped into
+// (-π, π]. It returns the forces on the four atoms and the energy.
+func (p *Params) ImproperForce(typ int32, ri, rj, rk, rl, box vec.V3) (fi, fj, fk, fl vec.V3, e float64) {
+	it := p.ImproperTypes[typ]
+	g := dihedral(ri, rj, rk, rl, box)
+	if g.degenerate {
+		return vec.Zero, vec.Zero, vec.Zero, vec.Zero, 0
+	}
+	dPsi := wrapAngle(g.phi - it.Psi0)
+	e = it.K * dPsi * dPsi
+	fi, fj, fk, fl = g.forces(2 * it.K * dPsi)
+	return fi, fj, fk, fl, e
+}
+
+// wrapAngle maps x into (-π, π].
+func wrapAngle(x float64) float64 {
+	for x > math.Pi {
+		x -= 2 * math.Pi
+	}
+	for x <= -math.Pi {
+		x += 2 * math.Pi
+	}
+	return x
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

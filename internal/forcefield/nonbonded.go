@@ -1,0 +1,74 @@
+package forcefield
+
+import (
+	"math"
+
+	"gonamd/internal/units"
+)
+
+// Nonbonded evaluates the nonbonded interaction between one atom pair.
+//
+//	ti, tj    atom types
+//	qi, qj    charges (elementary charges)
+//	r2        squared separation |ri - rj|² (minimum image), Å²
+//	modified  true for 1-4 pairs (scaled parameters)
+//
+// It returns the van der Waals energy, the electrostatic energy, and
+// fOverR such that the force on atom i is dr.Scale(fOverR) with
+// dr = ri - rj. Pairs beyond the cutoff return all zeros.
+//
+// The van der Waals term is Lennard-Jones with NAMD's C1-continuous
+// switching function active between SwitchDist and Cutoff; the
+// electrostatic term is Coulomb with the (1 - r²/rc²)² shifting function,
+// which brings both the potential and force smoothly to zero at the
+// cutoff.
+func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evdw, eelec, fOverR float64) {
+	rc2 := p.Cutoff * p.Cutoff
+	if r2 >= rc2 || r2 == 0 {
+		return 0, 0, 0
+	}
+
+	var pp pairParam
+	qq := units.Coulomb * qi * qj
+	if modified {
+		pp = p.pair14[int(ti)*p.ntypes+int(tj)]
+		qq *= p.Scale14Elec
+	} else {
+		pp = p.pair[int(ti)*p.ntypes+int(tj)]
+	}
+
+	x := r2 // work in x = r² to avoid sqrt where possible
+	invX := 1 / x
+	invX3 := invX * invX * invX
+	v := pp.A*invX3*invX3 - pp.B*invX3 // LJ energy before switching
+	dvdx := (-6*pp.A*invX3*invX3 + 3*pp.B*invX3) * invX
+
+	rs2 := p.SwitchDist * p.SwitchDist
+	var dEdxVdw float64
+	if x <= rs2 {
+		evdw = v
+		dEdxVdw = dvdx
+	} else {
+		denom := (rc2 - rs2) * (rc2 - rs2) * (rc2 - rs2)
+		sw := (rc2 - x) * (rc2 - x) * (rc2 + 2*x - 3*rs2) / denom
+		dswdx := 6 * (rc2 - x) * (rs2 - x) / denom
+		evdw = v * sw
+		dEdxVdw = dvdx*sw + v*dswdx
+	}
+
+	// Electrostatics: E = qq · x^(-1/2) · (1 - x/rc²)².
+	r := math.Sqrt(x)
+	sh := 1 - x/rc2
+	eelec = qq / r * sh * sh
+	dEdxElec := qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+
+	fOverR = -2 * (dEdxVdw + dEdxElec)
+	return evdw, eelec, fOverR
+}
+
+// NonbondedEnergy returns only the total energy of a pair (for tests and
+// analysis code that does not need forces).
+func (p *Params) NonbondedEnergy(ti, tj int32, qi, qj, r2 float64, modified bool) float64 {
+	evdw, eelec, _ := p.Nonbonded(ti, tj, qi, qj, r2, modified)
+	return evdw + eelec
+}

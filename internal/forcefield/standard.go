@@ -1,0 +1,102 @@
+package forcefield
+
+import "math"
+
+// Atom type indices in the Standard parameter set. The synthetic system
+// builder (internal/molgen) uses these.
+const (
+	TypeOW   int32 = iota // water oxygen
+	TypeHW                // water hydrogen
+	TypeC                 // backbone / carbonyl carbon
+	TypeCT                // aliphatic (tail) carbon
+	TypeN                 // amide nitrogen
+	TypeO                 // carbonyl oxygen
+	TypeH                 // polar hydrogen
+	TypeP                 // phosphate phosphorus
+	NumTypes = iota
+)
+
+// Bond type indices in the Standard parameter set.
+const (
+	BondOWHW int32 = iota
+	BondCC
+	BondCN
+	BondCO
+	BondNH
+	BondCTCT
+	BondCP
+	NumBondTypes = iota
+)
+
+// Angle type indices.
+const (
+	AngleHWOWHW int32 = iota
+	AngleCCC
+	AngleCCN
+	AngleCTCTCT
+	AngleOCN
+	NumAngleTypes = iota
+)
+
+// Dihedral type indices.
+const (
+	DihedralBackbone int32 = iota
+	DihedralTail
+	NumDihedralTypes = iota
+)
+
+// Improper type indices.
+const (
+	ImproperPlanar   int32 = iota
+	NumImproperTypes       = iota
+)
+
+// Standard returns a physically plausible CHARMM-style parameter set for
+// the synthetic benchmark systems, with the given nonbonded cutoff (Å).
+// The switching distance is set to cutoff − 2 Å (NAMD's common choice of
+// 10/12 for a 12 Å cutoff).
+func Standard(cutoff float64) *Params {
+	p := &Params{
+		AtomTypes: []AtomType{
+			TypeOW: {Name: "OW", Epsilon: 0.1521, Sigma: 3.1507},
+			TypeHW: {Name: "HW", Epsilon: 0.0460, Sigma: 0.4000},
+			TypeC:  {Name: "C", Epsilon: 0.1100, Sigma: 3.5636},
+			TypeCT: {Name: "CT", Epsilon: 0.0800, Sigma: 3.6705},
+			TypeN:  {Name: "N", Epsilon: 0.2000, Sigma: 3.2963},
+			TypeO:  {Name: "O", Epsilon: 0.1200, Sigma: 3.0291},
+			TypeH:  {Name: "H", Epsilon: 0.0460, Sigma: 0.4000},
+			TypeP:  {Name: "P", Epsilon: 0.5850, Sigma: 3.8309},
+		},
+		BondTypes: []BondType{
+			BondOWHW: {K: 450.0, R0: 0.9572},
+			BondCC:   {K: 310.0, R0: 1.526},
+			BondCN:   {K: 320.0, R0: 1.449},
+			BondCO:   {K: 570.0, R0: 1.229},
+			BondNH:   {K: 434.0, R0: 1.010},
+			BondCTCT: {K: 268.0, R0: 1.529},
+			BondCP:   {K: 260.0, R0: 1.800},
+		},
+		AngleTypes: []AngleType{
+			AngleHWOWHW: {K: 55.0, Theta0: 104.52 * math.Pi / 180},
+			AngleCCC:    {K: 40.0, Theta0: 109.5 * math.Pi / 180},
+			AngleCCN:    {K: 50.0, Theta0: 110.1 * math.Pi / 180},
+			AngleCTCTCT: {K: 58.35, Theta0: 112.7 * math.Pi / 180},
+			AngleOCN:    {K: 80.0, Theta0: 122.9 * math.Pi / 180},
+		},
+		DihedralTypes: []DihedralType{
+			DihedralBackbone: {K: 0.20, N: 3, Delta: 0},
+			DihedralTail:     {K: 0.16, N: 3, Delta: 0},
+		},
+		ImproperTypes: []ImproperType{
+			ImproperPlanar: {K: 10.5, Psi0: 0},
+		},
+		Cutoff:      cutoff,
+		SwitchDist:  cutoff - 2,
+		Scale14Elec: 1.0,
+		Scale14VdW:  1.0,
+	}
+	if err := p.Validate(); err != nil {
+		panic("forcefield: Standard parameter set invalid: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,38 @@
+package ldb
+
+import "testing"
+
+// Strategy benchmarks at NAMD scale: ~12k objects on 1024 PEs (the
+// ApoA-I 1024-processor balancing problem).
+
+func benchProblem(npe int) *Problem {
+	return randomProblem(42, npe, npe/2+8, 12*npe)
+}
+
+func BenchmarkGreedy1024(b *testing.B) {
+	p := benchProblem(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Greedy{}).Map(p)
+	}
+}
+
+func BenchmarkRefine1024(b *testing.B) {
+	p := benchProblem(1024)
+	assign := (&Greedy{}).Map(p)
+	for i := range p.Objects {
+		p.Objects[i].PE = assign[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Refine{}).Map(p)
+	}
+}
+
+func BenchmarkDiffusion1024(b *testing.B) {
+	p := benchProblem(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Diffusion{}).Map(p)
+	}
+}

@@ -1,0 +1,526 @@
+// Package ldb is the measurement-based load balancing framework of paper
+// §2.2 and §3.2. It is deliberately independent of both the simulated
+// machine and the real parallel engine: a Problem describes measured
+// object loads, the patches each object needs data from, patch home
+// processors, and per-processor background (non-migratable) load; a
+// Strategy produces a new object→processor mapping. The two strategies
+// the paper uses — the greedy proxy-aware initial algorithm and the
+// conservative refinement — are implemented here, along with the
+// statistics (max/average load, proxy counts) the paper reports.
+package ldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Object is one migratable (or pinned) unit of work.
+type Object struct {
+	Load       float64 // measured execution time per step, seconds
+	Patches    []int   // patches whose data the object requires
+	Migratable bool
+	PE         int // current processor
+}
+
+// Problem is the load balancer's input database.
+type Problem struct {
+	NumPE      int
+	NumPatches int
+	Objects    []Object
+	PatchHome  []int     // patch id → home PE
+	Background []float64 // per-PE non-migratable load (integration etc.), may be nil
+}
+
+// Validate checks index ranges.
+func (p *Problem) Validate() error {
+	if p.NumPE <= 0 {
+		return fmt.Errorf("ldb: NumPE = %d", p.NumPE)
+	}
+	if len(p.PatchHome) != p.NumPatches {
+		return fmt.Errorf("ldb: PatchHome has %d entries for %d patches", len(p.PatchHome), p.NumPatches)
+	}
+	for i, h := range p.PatchHome {
+		if h < 0 || h >= p.NumPE {
+			return fmt.Errorf("ldb: patch %d home %d out of range", i, h)
+		}
+	}
+	if p.Background != nil && len(p.Background) != p.NumPE {
+		return fmt.Errorf("ldb: Background has %d entries for %d PEs", len(p.Background), p.NumPE)
+	}
+	for i, o := range p.Objects {
+		if o.PE < 0 || o.PE >= p.NumPE {
+			return fmt.Errorf("ldb: object %d on PE %d", i, o.PE)
+		}
+		if o.Load < 0 {
+			return fmt.Errorf("ldb: object %d has negative load", i)
+		}
+		for _, pt := range o.Patches {
+			if pt < 0 || pt >= p.NumPatches {
+				return fmt.Errorf("ldb: object %d references patch %d", i, pt)
+			}
+		}
+	}
+	return nil
+}
+
+// Strategy maps objects to processors. Implementations must keep
+// non-migratable objects on their current PE.
+type Strategy interface {
+	Name() string
+	Map(p *Problem) []int
+}
+
+// Stats summarizes an assignment.
+type Stats struct {
+	MaxLoad            float64
+	AvgLoad            float64
+	Imbalance          float64 // MaxLoad - AvgLoad (the paper's Table 1 "Imbalance")
+	Proxies            int     // total proxy patches required
+	MaxProxiesPerPatch int
+}
+
+// Evaluate computes per-PE loads and proxy statistics for an assignment.
+func Evaluate(p *Problem, assign []int) Stats {
+	loads := PELoads(p, assign)
+	var st Stats
+	total := 0.0
+	for _, l := range loads {
+		total += l
+		if l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+	}
+	st.AvgLoad = total / float64(p.NumPE)
+	st.Imbalance = st.MaxLoad - st.AvgLoad
+
+	// A proxy exists for patch t on PE e when some object on e needs t
+	// and e is not t's home.
+	need := make(map[int]map[int]bool, p.NumPatches)
+	for i, o := range p.Objects {
+		pe := assign[i]
+		for _, t := range o.Patches {
+			if p.PatchHome[t] == pe {
+				continue
+			}
+			if need[t] == nil {
+				need[t] = make(map[int]bool)
+			}
+			need[t][pe] = true
+		}
+	}
+	for _, pes := range need {
+		st.Proxies += len(pes)
+		if len(pes) > st.MaxProxiesPerPatch {
+			st.MaxProxiesPerPatch = len(pes)
+		}
+	}
+	return st
+}
+
+// PELoads returns per-PE load (background plus assigned objects).
+func PELoads(p *Problem, assign []int) []float64 {
+	loads := make([]float64, p.NumPE)
+	if p.Background != nil {
+		copy(loads, p.Background)
+	}
+	for i, o := range p.Objects {
+		loads[assign[i]] += o.Load
+	}
+	return loads
+}
+
+// availability tracks which patches have data (home or proxy) on each PE.
+type availability struct {
+	onPE    []map[int]bool // pe → set of patches
+	holders [][]int        // patch → PEs holding it (order of creation)
+}
+
+func newAvailability(p *Problem) *availability {
+	a := &availability{
+		onPE:    make([]map[int]bool, p.NumPE),
+		holders: make([][]int, p.NumPatches),
+	}
+	for pe := range a.onPE {
+		a.onPE[pe] = make(map[int]bool)
+	}
+	for t, home := range p.PatchHome {
+		a.add(t, home)
+	}
+	return a
+}
+
+func (a *availability) add(patch, pe int) {
+	if !a.onPE[pe][patch] {
+		a.onPE[pe][patch] = true
+		a.holders[patch] = append(a.holders[patch], pe)
+	}
+}
+
+func (a *availability) has(patch, pe int) bool { return a.onPE[pe][patch] }
+
+// missing returns how many of the object's patches are not yet on pe.
+func missing(a *availability, patches []int, pe int) int {
+	n := 0
+	for _, t := range patches {
+		if !a.has(t, pe) {
+			n++
+		}
+	}
+	return n
+}
+
+// homeCount returns how many of the object's patches have their home on pe.
+func homeCount(p *Problem, patches []int, pe int) int {
+	n := 0
+	for _, t := range patches {
+		if p.PatchHome[t] == pe {
+			n++
+		}
+	}
+	return n
+}
+
+// Greedy is the paper's initial load balancing algorithm (§3.2): process
+// compute objects from largest to smallest; for each, pick a destination
+// that is not overloaded beyond the threshold, maximizes use of home
+// patches, creates the fewest new proxies, and among those is least
+// loaded.
+type Greedy struct {
+	// Overload is the permitted load relative to the average (the
+	// paper's "overload threshold permits some overload"). Zero means
+	// the default 1.15.
+	Overload float64
+}
+
+// Name implements Strategy.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Map implements Strategy.
+func (g *Greedy) Map(p *Problem) []int {
+	overload := g.Overload
+	if overload == 0 {
+		overload = 1.15
+	}
+	assign := make([]int, len(p.Objects))
+	loads := make([]float64, p.NumPE)
+	if p.Background != nil {
+		copy(loads, p.Background)
+	}
+	avail := newAvailability(p)
+
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	// Non-migratable objects stay put and contribute load and proxies.
+	var order []int
+	for i, o := range p.Objects {
+		total += o.Load
+		if !o.Migratable {
+			assign[i] = o.PE
+			loads[o.PE] += o.Load
+			for _, t := range o.Patches {
+				avail.add(t, o.PE)
+			}
+			continue
+		}
+		order = append(order, i)
+	}
+	threshold := overload * total / float64(p.NumPE)
+
+	// Largest object first.
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := p.Objects[order[a]].Load, p.Objects[order[b]].Load
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+
+	for _, i := range order {
+		obj := &p.Objects[i]
+		pe := g.pick(p, obj, loads, avail, threshold)
+		assign[i] = pe
+		loads[pe] += obj.Load
+		for _, t := range obj.Patches {
+			avail.add(t, pe)
+		}
+	}
+	return assign
+}
+
+// pick selects the destination PE for one object.
+func (g *Greedy) pick(p *Problem, obj *Object, loads []float64, avail *availability, threshold float64) int {
+	// Candidates: every PE already holding (home or proxy) one of the
+	// object's patches — the only places the object can run without new
+	// communication — plus the globally least-loaded PE as an escape.
+	seen := map[int]bool{}
+	var cands []int
+	for _, t := range obj.Patches {
+		for _, pe := range avail.holders[t] {
+			if !seen[pe] {
+				seen[pe] = true
+				cands = append(cands, pe)
+			}
+		}
+	}
+	minPE := 0
+	for pe := 1; pe < p.NumPE; pe++ {
+		if loads[pe] < loads[minPE] {
+			minPE = pe
+		}
+	}
+	if !seen[minPE] {
+		cands = append(cands, minPE)
+	}
+	sort.Ints(cands) // determinism
+
+	best := -1
+	var bestHome, bestNew int
+	var bestLoad float64
+	for _, pe := range cands {
+		if loads[pe]+obj.Load > threshold {
+			continue
+		}
+		h := homeCount(p, obj.Patches, pe)
+		nw := missing(avail, obj.Patches, pe)
+		if best < 0 ||
+			h > bestHome ||
+			(h == bestHome && nw < bestNew) ||
+			(h == bestHome && nw == bestNew && loads[pe] < bestLoad) {
+			best, bestHome, bestNew, bestLoad = pe, h, nw, loads[pe]
+		}
+	}
+	if best < 0 {
+		// Everything over threshold: least-loaded PE.
+		return minPE
+	}
+	return best
+}
+
+// Refine is the paper's refinement step: only objects on overloaded
+// processors move, only underloaded processors receive, and the overload
+// threshold is tighter than the greedy pass's. It starts from the
+// objects' current PEs.
+type Refine struct {
+	// Overload relative to average; zero means the default 1.03.
+	Overload float64
+}
+
+// Name implements Strategy.
+func (r *Refine) Name() string { return "refine" }
+
+// Map implements Strategy.
+func (r *Refine) Map(p *Problem) []int {
+	overload := r.Overload
+	if overload == 0 {
+		overload = 1.06
+	}
+	assign := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		assign[i] = o.PE
+	}
+	loads := PELoads(p, assign)
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	threshold := overload * total / float64(p.NumPE)
+
+	// Availability reflects the starting assignment.
+	avail := newAvailability(p)
+	for i, o := range p.Objects {
+		for _, t := range o.Patches {
+			avail.add(t, assign[i])
+		}
+	}
+
+	// Objects per PE, heaviest first.
+	objsOn := make([][]int, p.NumPE)
+	for i, o := range p.Objects {
+		if o.Migratable {
+			objsOn[assign[i]] = append(objsOn[assign[i]], i)
+		}
+	}
+	for pe := range objsOn {
+		sort.Slice(objsOn[pe], func(a, b int) bool {
+			la, lb := p.Objects[objsOn[pe][a]].Load, p.Objects[objsOn[pe][b]].Load
+			if la != lb {
+				return la > lb
+			}
+			return objsOn[pe][a] < objsOn[pe][b]
+		})
+	}
+
+	for iter := 0; iter < 4*p.NumPE+16; iter++ {
+		// Most overloaded PE.
+		src := -1
+		for pe := 0; pe < p.NumPE; pe++ {
+			if loads[pe] > threshold && (src < 0 || loads[pe] > loads[src]) {
+				src = pe
+			}
+		}
+		if src < 0 {
+			break
+		}
+		moved := false
+		for oi, i := range objsOn[src] {
+			if i < 0 {
+				continue
+			}
+			obj := &p.Objects[i]
+			// Find the best underloaded destination: fewest new proxies,
+			// then least loaded.
+			best := -1
+			var bestNew int
+			var bestLoad float64
+			for pe := 0; pe < p.NumPE; pe++ {
+				if pe == src || loads[pe]+obj.Load > threshold {
+					continue
+				}
+				nw := missing(avail, obj.Patches, pe)
+				if best < 0 || nw < bestNew || (nw == bestNew && loads[pe] < bestLoad) {
+					best, bestNew, bestLoad = pe, nw, loads[pe]
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			assign[i] = best
+			loads[src] -= obj.Load
+			loads[best] += obj.Load
+			for _, t := range obj.Patches {
+				avail.add(t, best)
+			}
+			objsOn[best] = append(objsOn[best], i)
+			objsOn[src][oi] = -1
+			moved = true
+			break
+		}
+		if !moved {
+			// The heaviest PE cannot shed anything; since every other
+			// overloaded PE is lighter but faces the same receivers,
+			// retrying others rarely helps — stop, like the paper's
+			// conservative refinement.
+			break
+		}
+	}
+	return assign
+}
+
+// Diffusion models the paper's distributed strategies (§2.2): no
+// processor collects global information; instead each processor repeatedly
+// compares load with its ring neighbors and hands its smallest objects to
+// a lighter neighbor. Cheaper to run at scale than the centralized
+// strategies but lower final quality — the paper notes centralized
+// strategies are worth their cost for molecular dynamics because load
+// changes slowly.
+type Diffusion struct {
+	// Iterations of neighbor exchange (0 = default 3·√NumPE).
+	Iterations int
+}
+
+// Name implements Strategy.
+func (d *Diffusion) Name() string { return "diffusion" }
+
+// Map implements Strategy.
+func (d *Diffusion) Map(p *Problem) []int {
+	assign := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		assign[i] = o.PE
+	}
+	loads := PELoads(p, assign)
+
+	// Objects on each PE, smallest first (cheap objects diffuse first,
+	// keeping the moves fine-grained).
+	objsOn := make([][]int, p.NumPE)
+	for i, o := range p.Objects {
+		if o.Migratable {
+			objsOn[assign[i]] = append(objsOn[assign[i]], i)
+		}
+	}
+	sortObjs := func(pe int) {
+		sort.Slice(objsOn[pe], func(a, b int) bool {
+			la, lb := p.Objects[objsOn[pe][a]].Load, p.Objects[objsOn[pe][b]].Load
+			if la != lb {
+				return la < lb
+			}
+			return objsOn[pe][a] < objsOn[pe][b]
+		})
+	}
+	for pe := range objsOn {
+		sortObjs(pe)
+	}
+
+	iters := d.Iterations
+	if iters == 0 {
+		iters = 3 * int(sqrtCeil(p.NumPE))
+	}
+	for it := 0; it < iters; it++ {
+		moved := false
+		for pe := 0; pe < p.NumPE; pe++ {
+			for _, nb := range []int{mod(pe-1, p.NumPE), mod(pe+1, p.NumPE)} {
+				if nb == pe {
+					continue
+				}
+				diff := loads[pe] - loads[nb]
+				if diff <= 0 {
+					continue
+				}
+				// Push objects while they fit in half the gap.
+				for len(objsOn[pe]) > 0 {
+					i := objsOn[pe][0]
+					l := p.Objects[i].Load
+					if l > diff/2 || l == 0 {
+						break
+					}
+					objsOn[pe] = objsOn[pe][1:]
+					assign[i] = nb
+					loads[pe] -= l
+					loads[nb] += l
+					diff = loads[pe] - loads[nb]
+					objsOn[nb] = append(objsOn[nb], i)
+					moved = true
+				}
+				if moved {
+					sortObjs(nb)
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return assign
+}
+
+func sqrtCeil(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// NoOp keeps every object where it is (baseline for ablations).
+type NoOp struct{}
+
+// Name implements Strategy.
+func (NoOp) Name() string { return "noop" }
+
+// Map implements Strategy.
+func (NoOp) Map(p *Problem) []int {
+	assign := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		assign[i] = o.PE
+	}
+	return assign
+}

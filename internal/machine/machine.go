@@ -1,0 +1,185 @@
+// Package machine defines the cost models of the parallel computers the
+// paper evaluates on: Sandia's ASCI-Red (333 MHz Pentium II Xeon), the
+// PSC Cray T3E-900, and the NCSA SGI Origin 2000 (250 MHz). A Model
+// assigns virtual CPU time to each unit of molecular-dynamics work
+// (within-cutoff pair, pairlist check, bonded term, integrated atom) and
+// carries a converse.NetworkModel for communication costs.
+//
+// CPU constants are calibrated from the paper's own data: Table 1's
+// "Ideal" row decomposes the sequential ApoA-I step on ASCI-Red into
+// 52.44 s nonbonded + 3.16 s bonded + 1.44 s integration (57.04 s total).
+// Given the measured work counts of our synthetic ApoA-I we solve for
+// per-unit costs; other machines scale all CPU costs by the ratio of
+// their sequential step times (T3E ≈ 42.8 s from Table 5's 4-processor
+// row; Origin 24.4 s from Table 6). FLOP accounting uses the paper's
+// single-processor rating: 0.0480 GFLOPS × 57.1 s ≈ 2.74 GFLOP per
+// ApoA-I step, i.e. R = 48.05 MFLOPS per ASCI-Red-second of work.
+package machine
+
+import (
+	"gonamd/internal/converse"
+)
+
+// Counts are the per-step work counts of a workload (system + grid).
+type Counts struct {
+	Pairs  int64 // atom pairs within the cutoff
+	Listed int64 // atom pairs within the pairlist distance (superset)
+	Bonded int64 // bonded terms (bonds + angles + dihedrals + impropers)
+	Atoms  int64 // atoms integrated
+}
+
+// Reference values from the paper used for calibration.
+const (
+	// Table 1 "Ideal" row (sequential ApoA-I on ASCI-Red, seconds/step).
+	apoaNonbondedSec   = 52.44
+	apoaBondedSec      = 3.16
+	apoaIntegrationSec = 1.44
+	apoaTotalSec       = 57.04
+
+	// Paper: 0.0480 GFLOPS at 57.1 s/step on one ASCI-Red processor.
+	flopsPerASCISecond = 0.0480e9 * 57.1 / apoaTotalSec
+
+	// A pairlist distance check costs this fraction of a full pair
+	// interaction (distance only vs. full LJ+Coulomb with switching).
+	checkCostRatio = 1.0 / 8
+)
+
+// ReferenceCounts are the measured per-step work counts of the synthetic
+// ApoA-I benchmark (92,224 atoms, 7×7×5 patches, 12 Å cutoff, 13.5 Å
+// pairlist) that all machine models calibrate against. They are pinned
+// here so that calibration never depends on which system is being
+// simulated; internal/bench verifies them against a fresh build.
+var ReferenceCounts = Counts{
+	Pairs:  34065911,
+	Listed: 48224700,
+	Bonded: 110964,
+	Atoms:  92224,
+}
+
+// Model is a complete machine cost model.
+type Model struct {
+	Name string
+
+	// CPU costs in seconds per unit of work.
+	PerPair          float64 // within-cutoff pair interaction
+	PerListed        float64 // pairlist entry outside the cutoff
+	PerBonded        float64 // one bonded term
+	PerAtomIntegrate float64 // one atom's integration per step
+
+	// PerAtomMsg is the CPU cost per atom to process a coordinate or
+	// force message (unpack on the proxy side, combine on the home
+	// side). The paper's Table 1 attributes most parallel overhead to
+	// "processing coordinate and force messages"; this term only
+	// appears when data crosses processors, so it vanishes sequentially.
+	PerAtomMsg float64
+
+	// CPUFactor is this machine's sequential speed relative to ASCI-Red
+	// (smaller = faster CPU).
+	CPUFactor float64
+
+	Net converse.NetworkModel
+}
+
+// Calibrate derives a model from the reference ApoA-I counts so that the
+// sequential ApoA-I step time reproduces Table 1's Ideal decomposition
+// scaled by cpuFactor.
+func Calibrate(name string, cpuFactor float64, net converse.NetworkModel, apoa Counts) Model {
+	den := float64(apoa.Pairs) + float64(apoa.Listed-apoa.Pairs)*checkCostRatio
+	perPair := apoaNonbondedSec / den * cpuFactor
+	return Model{
+		Name:             name,
+		PerPair:          perPair,
+		PerListed:        perPair * checkCostRatio,
+		PerBonded:        apoaBondedSec / float64(apoa.Bonded) * cpuFactor,
+		PerAtomIntegrate: apoaIntegrationSec / float64(apoa.Atoms) * cpuFactor,
+		PerAtomMsg:       0.7e-6 * cpuFactor,
+		CPUFactor:        cpuFactor,
+		Net:              net,
+	}
+}
+
+// SeqTime returns the modeled sequential (single-processor, zero
+// communication) step time for a workload.
+func (m *Model) SeqTime(c Counts) float64 {
+	return float64(c.Pairs)*m.PerPair +
+		float64(c.Listed-c.Pairs)*m.PerListed +
+		float64(c.Bonded)*m.PerBonded +
+		float64(c.Atoms)*m.PerAtomIntegrate
+}
+
+// NonbondedTime returns the modeled sequential nonbonded time (the
+// dominant component; Table 1's first column).
+func (m *Model) NonbondedTime(c Counts) float64 {
+	return float64(c.Pairs)*m.PerPair + float64(c.Listed-c.Pairs)*m.PerListed
+}
+
+// BondedTime returns the modeled sequential bonded-force time.
+func (m *Model) BondedTime(c Counts) float64 { return float64(c.Bonded) * m.PerBonded }
+
+// IntegrationTime returns the modeled sequential integration time.
+func (m *Model) IntegrationTime(c Counts) float64 {
+	return float64(c.Atoms) * m.PerAtomIntegrate
+}
+
+// FlopsPerStep returns the (machine-independent) floating-point
+// operations per simulation step for a workload, derived from the
+// paper's measured ASCI-Red rate.
+func (m *Model) FlopsPerStep(c Counts) float64 {
+	return m.SeqTime(c) / m.CPUFactor * flopsPerASCISecond
+}
+
+// GFLOPS returns the rating for a given measured step time, following
+// the paper's procedure (single-processor FLOP count divided by parallel
+// time per step).
+func (m *Model) GFLOPS(c Counts, stepTime float64) float64 {
+	if stepTime <= 0 {
+		return 0
+	}
+	return m.FlopsPerStep(c) / stepTime / 1e9
+}
+
+// ASCIRed returns the ASCI-Red model (paper §4.3: 333 MHz Pentium II
+// Xeon, -proc 1 coprocessor mode; era-typical MPI overheads).
+func ASCIRed() Model {
+	return Calibrate("ASCI-Red", 1.0, converse.NetworkModel{
+		Latency:           20e-6,
+		PerByte:           3.3e-9, // ~300 MB/s
+		SendOverhead:      100e-6,
+		SendPerByte:       15e-9, // user-level allocation+packing
+		RecvOverhead:      80e-6,
+		LocalSendOverhead: 1.5e-6,
+		LocalRecvOverhead: 2.0e-6,
+		MulticastPerDest:  15e-6,
+	}, ReferenceCounts)
+}
+
+// T3E returns the Cray T3E-900 model. Per-processor performance and
+// network are both better than ASCI-Red (paper: "Per-processor
+// performance and scalability are both better").
+func T3E() Model {
+	return Calibrate("T3E-900", 42.8/apoaTotalSec, converse.NetworkModel{
+		Latency:           3e-6,
+		PerByte:           2.9e-9, // ~340 MB/s sustained
+		SendOverhead:      15e-6,
+		SendPerByte:       6e-9,
+		RecvOverhead:      10e-6,
+		LocalSendOverhead: 1.0e-6,
+		LocalRecvOverhead: 0.7e-6,
+		MulticastPerDest:  4e-6,
+	}, ReferenceCounts)
+}
+
+// Origin2000 returns the SGI Origin 2000 model (250 MHz R10k, ccNUMA
+// shared memory).
+func Origin2000() Model {
+	return Calibrate("Origin2000", 24.4/apoaTotalSec, converse.NetworkModel{
+		Latency:           1e-6,
+		PerByte:           5e-9,
+		SendOverhead:      10e-6,
+		SendPerByte:       5e-9,
+		RecvOverhead:      8e-6,
+		LocalSendOverhead: 0.8e-6,
+		LocalRecvOverhead: 0.5e-6,
+		MulticastPerDest:  3e-6,
+	}, ReferenceCounts)
+}

@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestASCIRedCalibration(t *testing.T) {
+	m := ASCIRed()
+	c := ReferenceCounts
+	if got := m.NonbondedTime(c); math.Abs(got-52.44) > 1e-9 {
+		t.Errorf("nonbonded = %v, want 52.44 (Table 1 ideal)", got)
+	}
+	if got := m.BondedTime(c); math.Abs(got-3.16) > 1e-9 {
+		t.Errorf("bonded = %v, want 3.16", got)
+	}
+	if got := m.IntegrationTime(c); math.Abs(got-1.44) > 1e-9 {
+		t.Errorf("integration = %v, want 1.44", got)
+	}
+	if got := m.SeqTime(c); math.Abs(got-57.04) > 1e-6 {
+		t.Errorf("total = %v, want 57.04", got)
+	}
+}
+
+func TestSingleCPURatings(t *testing.T) {
+	// The paper's single-processor numbers per machine.
+	cases := []struct {
+		m       Model
+		seqTime float64 // s/step for ApoA-I
+		gflops  float64
+	}{
+		{ASCIRed(), 57.04, 0.0480},
+		{T3E(), 42.8, 0.0480 * 57.04 / 42.8},
+		{Origin2000(), 24.4, 0.112},
+	}
+	for _, c := range cases {
+		got := c.m.SeqTime(ReferenceCounts)
+		if math.Abs(got-c.seqTime) > 1e-6 {
+			t.Errorf("%s: seq time %v, want %v", c.m.Name, got, c.seqTime)
+		}
+		gf := c.m.GFLOPS(ReferenceCounts, got)
+		if math.Abs(gf-c.gflops) > 0.002 {
+			t.Errorf("%s: 1-CPU GFLOPS %v, want %v", c.m.Name, gf, c.gflops)
+		}
+	}
+}
+
+func TestFlopsMachineIndependent(t *testing.T) {
+	// FLOPs per step are a property of the program, not the machine.
+	ma, mb, mc := ASCIRed(), T3E(), Origin2000()
+	a := ma.FlopsPerStep(ReferenceCounts)
+	b := mb.FlopsPerStep(ReferenceCounts)
+	c := mc.FlopsPerStep(ReferenceCounts)
+	if math.Abs(a-b) > 1e-3*a || math.Abs(a-c) > 1e-3*a {
+		t.Errorf("FLOP counts differ: %v %v %v", a, b, c)
+	}
+	// And ≈ 2.74 GFLOP for ApoA-I (paper: 0.0480 GFLOPS × 57.1 s).
+	if a < 2.6e9 || a > 2.9e9 {
+		t.Errorf("ApoA-I FLOPs/step = %v, want ≈ 2.74e9", a)
+	}
+}
+
+func TestGFLOPSGuards(t *testing.T) {
+	m := ASCIRed()
+	if m.GFLOPS(ReferenceCounts, 0) != 0 {
+		t.Error("zero step time should give zero GFLOPS")
+	}
+}
+
+func TestCPUFactorOrdering(t *testing.T) {
+	if !(Origin2000().CPUFactor < T3E().CPUFactor && T3E().CPUFactor < ASCIRed().CPUFactor) {
+		t.Error("CPU factors out of order (Origin fastest, ASCI-Red slowest)")
+	}
+}
+
+func TestCalibrateScalesLinearly(t *testing.T) {
+	half := Calibrate("half", 0.5, ASCIRed().Net, ReferenceCounts)
+	full := ASCIRed()
+	if math.Abs(half.SeqTime(ReferenceCounts)-full.SeqTime(ReferenceCounts)/2) > 1e-9 {
+		t.Error("cpuFactor 0.5 did not halve the sequential time")
+	}
+	if math.Abs(half.PerPair-full.PerPair/2) > 1e-20 {
+		t.Error("PerPair not scaled")
+	}
+}
+
+func TestSeqTimeDecomposition(t *testing.T) {
+	m := ASCIRed()
+	c := ReferenceCounts
+	sum := m.NonbondedTime(c) + m.BondedTime(c) + m.IntegrationTime(c)
+	if math.Abs(sum-m.SeqTime(c)) > 1e-9 {
+		t.Errorf("component sum %v != total %v", sum, m.SeqTime(c))
+	}
+}

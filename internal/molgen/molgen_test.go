@@ -1,0 +1,345 @@
+package molgen
+
+import (
+	"math"
+	"testing"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/spatial"
+	"gonamd/internal/topology"
+	"gonamd/internal/units"
+	"gonamd/internal/vec"
+)
+
+func buildSmall(t *testing.T) (*topology.System, *topology.State) {
+	t.Helper()
+	spec := Spec{
+		Name:          "small",
+		Box:           vec.New(40, 40, 40),
+		TargetAtoms:   4000,
+		ProteinChains: 1,
+		ChainResidues: 30,
+		LipidCount:    6,
+		LipidTailLen:  8,
+		Temperature:   300,
+		Seed:          1,
+	}
+	sys, st, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sys, st
+}
+
+func TestBuildExactAtomCount(t *testing.T) {
+	sys, st := buildSmall(t)
+	if sys.N() != 4000 {
+		t.Errorf("N = %d, want 4000", sys.N())
+	}
+	if len(st.Pos) != 4000 || len(st.Vel) != 4000 {
+		t.Errorf("state sizes %d/%d", len(st.Pos), len(st.Vel))
+	}
+}
+
+func TestBuildPositionsInsideBox(t *testing.T) {
+	sys, st := buildSmall(t)
+	for i, p := range st.Pos {
+		if p.X < 0 || p.X >= sys.Box.X || p.Y < 0 || p.Y >= sys.Box.Y || p.Z < 0 || p.Z >= sys.Box.Z {
+			t.Fatalf("atom %d at %v outside box %v", i, p, sys.Box)
+		}
+	}
+}
+
+func TestBuildValidatesTopology(t *testing.T) {
+	sys, _ := buildSmall(t)
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !sys.ExclusionsBuilt() {
+		t.Error("exclusions not built")
+	}
+	if len(sys.Bonds) == 0 || len(sys.Angles) == 0 || len(sys.Dihedrals) == 0 || len(sys.Impropers) == 0 {
+		t.Errorf("missing bonded terms: %d bonds %d angles %d dihedrals %d impropers",
+			len(sys.Bonds), len(sys.Angles), len(sys.Dihedrals), len(sys.Impropers))
+	}
+}
+
+func TestBuildChargeNeutral(t *testing.T) {
+	sys, _ := buildSmall(t)
+	q := 0.0
+	for _, a := range sys.Atoms {
+		q += a.Charge
+	}
+	if math.Abs(q) > 1e-6 {
+		t.Errorf("net charge %v, want 0", q)
+	}
+}
+
+func TestBondLengthsReasonable(t *testing.T) {
+	sys, st := buildSmall(t)
+	for _, b := range sys.Bonds {
+		r := vec.MinImage(st.Pos[b.I], st.Pos[b.J], sys.Box).Norm()
+		if r < 0.5 || r > 3.0 {
+			t.Fatalf("bond %d-%d has length %.3f Å", b.I, b.J, r)
+		}
+	}
+}
+
+func TestVelocitiesAtTemperature(t *testing.T) {
+	sys, st := buildSmall(t)
+	ke := 0.0
+	for i, v := range st.Vel {
+		ke += 0.5 * sys.Atoms[i].Mass * v.Norm2() / units.ForceToAccel
+	}
+	temp := units.KineticToKelvin(ke, 3*sys.N())
+	if math.Abs(temp-300) > 15 {
+		t.Errorf("initial temperature %.1f K, want ≈ 300 K", temp)
+	}
+	// Net momentum removed.
+	var p vec.V3
+	for i, v := range st.Vel {
+		p = p.Add(v.Scale(sys.Atoms[i].Mass))
+	}
+	if p.Norm() > 1e-9 {
+		t.Errorf("net momentum %v, want 0", p)
+	}
+}
+
+func TestZeroTemperatureNoVelocities(t *testing.T) {
+	spec := WaterBox(20, 3)
+	spec.Temperature = 0
+	_, st, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range st.Vel {
+		if v != vec.Zero {
+			t.Fatal("velocities assigned despite Temperature = 0")
+		}
+	}
+}
+
+func TestWaterBoxComposition(t *testing.T) {
+	spec := WaterBox(25, 2)
+	sys, _, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N()%3 != 0 {
+		t.Errorf("water box atom count %d not a multiple of 3", sys.N())
+	}
+	// Every molecule: O with two H.
+	nO, nH := 0, 0
+	for _, a := range sys.Atoms {
+		switch a.Type {
+		case forcefield.TypeOW:
+			nO++
+		case forcefield.TypeHW:
+			nH++
+		default:
+			t.Fatalf("unexpected atom type %d in water box", a.Type)
+		}
+	}
+	if nH != 2*nO {
+		t.Errorf("water box has %d O, %d H", nO, nH)
+	}
+	if len(sys.Bonds) != 2*nO || len(sys.Angles) != nO {
+		t.Errorf("water box bonds/angles = %d/%d, want %d/%d", len(sys.Bonds), len(sys.Angles), 2*nO, nO)
+	}
+}
+
+func TestWaterNotOverlappingStructure(t *testing.T) {
+	sys, st := buildSmall(t)
+	// No two atoms from different molecules should be closer than 1.0 Å
+	// (intra-molecular distances can be shorter, e.g. O-H 0.96 Å).
+	grid, err := spatial.NewGrid(sys.Box, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := grid.Bin(st.Pos)
+	check := func(i, j int32) {
+		if sys.Atoms[i].Molecule == sys.Atoms[j].Molecule {
+			return
+		}
+		d := vec.MinImage(st.Pos[i], st.Pos[j], sys.Box).Norm()
+		if d < 1.0 {
+			t.Fatalf("atoms %d and %d from different molecules %.3f Å apart", i, j, d)
+		}
+	}
+	for id := 0; id < grid.NumPatches(); id++ {
+		atoms := bins[id]
+		for ai := 0; ai < len(atoms); ai++ {
+			for aj := ai + 1; aj < len(atoms); aj++ {
+				check(atoms[ai], atoms[aj])
+			}
+		}
+		for _, nb := range grid.Neighbors(id) {
+			if nb < id {
+				continue
+			}
+			for _, a := range atoms {
+				for _, b := range bins[nb] {
+					check(a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := WaterBox(20, 77)
+	_, st1, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st1.Pos {
+		if st1.Pos[i] != st2.Pos[i] || st1.Vel[i] != st2.Vel[i] {
+			t.Fatalf("builds with same seed differ at atom %d", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := Build(Spec{Box: vec.New(10, 10, 10)}); err == nil {
+		t.Error("zero TargetAtoms accepted")
+	}
+	spec := Spec{
+		Box: vec.New(10, 10, 10), TargetAtoms: 10,
+		ProteinChains: 1, ChainResidues: 100,
+	}
+	if _, _, err := Build(spec); err == nil {
+		t.Error("structured atoms exceeding target accepted")
+	}
+}
+
+func TestPresetSpecsConsistent(t *testing.T) {
+	for _, spec := range []Spec{ApoA1(), BC1(), BR()} {
+		if spec.StructuredAtoms() >= spec.TargetAtoms {
+			t.Errorf("%s: structured %d >= target %d", spec.Name, spec.StructuredAtoms(), spec.TargetAtoms)
+		}
+		// Patch grid must be valid for the cutoff.
+		if _, err := spatial.NewGridDims(spec.Box, spec.PatchDims, Cutoff); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestApoA1FullBuild builds the full 92,224-atom benchmark and verifies
+// the paper's headline decomposition numbers.
+func TestApoA1FullBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark build in -short mode")
+	}
+	spec := ApoA1()
+	sys, st, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 92224 {
+		t.Fatalf("ApoA-I atoms = %d, want 92224", sys.N())
+	}
+	grid, err := spatial.NewGridDims(spec.Box, spec.PatchDims, Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.NumPatches() != 245 {
+		t.Fatalf("patches = %d, want 245", grid.NumPatches())
+	}
+	bins := grid.Bin(st.Pos)
+	nonEmpty := 0
+	maxAtoms := 0
+	for _, b := range bins {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+		if len(b) > maxAtoms {
+			maxAtoms = len(b)
+		}
+	}
+	if nonEmpty != 245 {
+		t.Errorf("non-empty patches = %d, want 245", nonEmpty)
+	}
+	// The membrane region should make some patches markedly heavier than
+	// the mean — that imbalance is what the paper's load balancer fixes.
+	mean := float64(sys.N()) / 245
+	if float64(maxAtoms) < 1.2*mean {
+		t.Errorf("max patch %d atoms vs mean %.0f: expected density contrast", maxAtoms, mean)
+	}
+}
+
+func TestLipidBilayerGeometry(t *testing.T) {
+	spec := Spec{
+		Name:         "bilayer",
+		Box:          vec.New(40, 40, 50),
+		TargetAtoms:  3000,
+		LipidCount:   20,
+		LipidTailLen: 10,
+		Seed:         9,
+	}
+	sys, st, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phosphorus headgroups must sit in two planes straddling the box
+	// midplane; tail carbons concentrate between them.
+	midZ := spec.Box.Z / 2
+	var pAbove, pBelow int
+	var tailSpread float64
+	var nTail int
+	for i, a := range sys.Atoms {
+		switch a.Type {
+		case forcefield.TypeP:
+			if st.Pos[i].Z > midZ {
+				pAbove++
+			} else {
+				pBelow++
+			}
+			if d := math.Abs(st.Pos[i].Z - midZ); d < 5 {
+				t.Errorf("headgroup %d only %.1f Å from midplane", i, d)
+			}
+		case forcefield.TypeCT:
+			tailSpread += math.Abs(st.Pos[i].Z - midZ)
+			nTail++
+		}
+	}
+	if pAbove != 10 || pBelow != 10 {
+		t.Errorf("leaflet headgroups = %d/%d, want 10/10", pAbove, pBelow)
+	}
+	if nTail != 20*2*10 {
+		t.Fatalf("tail carbons = %d", nTail)
+	}
+	if avg := tailSpread / float64(nTail); avg > 12 {
+		t.Errorf("tails spread %.1f Å from midplane — not a bilayer", avg)
+	}
+}
+
+func TestBC1FullBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("206k-atom build in -short mode")
+	}
+	spec := BC1()
+	sys, st, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 206617 {
+		t.Fatalf("BC1 atoms = %d, want 206617", sys.N())
+	}
+	grid, err := spatial.NewGridDims(spec.Box, spec.PatchDims, Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.NumPatches() != 378 {
+		t.Fatalf("BC1 patches = %d, want 378", grid.NumPatches())
+	}
+	bins := grid.Bin(st.Pos)
+	for p, b := range bins {
+		if len(b) == 0 {
+			t.Errorf("patch %d empty", p)
+		}
+	}
+}

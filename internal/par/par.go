@@ -1,0 +1,442 @@
+// Package par is a real (not simulated) parallel molecular dynamics
+// engine for shared-memory machines: the paper's object decomposition
+// with goroutines in place of processors. Space is divided into
+// cutoff-sized cells; nonbonded self/pair computes, and chunks of bonded
+// terms, become tasks whose execution times are measured every step and
+// periodically rebalanced across workers with the same measurement-based
+// greedy/refinement strategies (internal/ldb) the cluster simulation
+// uses. Forces accumulate into worker-private arrays and are reduced in a
+// deterministic order, so results are independent of scheduling.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/ldb"
+	"gonamd/internal/seq"
+	"gonamd/internal/spatial"
+	"gonamd/internal/thermo"
+	"gonamd/internal/topology"
+	"gonamd/internal/units"
+	"gonamd/internal/vec"
+)
+
+// taskKind discriminates the work a task performs.
+type taskKind uint8
+
+const (
+	taskSelf taskKind = iota
+	taskPair
+	taskBonded
+)
+
+type task struct {
+	kind     taskKind
+	cellA    int // self and pair
+	cellB    int // pair only
+	lo, hi   int // bonded: term index range into the flattened term list
+	cells    []int
+	measured float64 // seconds, exponentially smoothed
+}
+
+// bondedRef flattens all bonded terms into one indexable list.
+type bondedRef struct {
+	kind uint8 // 0 bond, 1 angle, 2 dihedral, 3 improper
+	idx  int32
+}
+
+// Engine runs molecular dynamics across a pool of goroutine workers.
+type Engine struct {
+	Sys *topology.System
+	FF  *forcefield.Params
+	St  *topology.State
+
+	// RebalanceEvery sets how many steps run between load-balancing
+	// passes (0 disables automatic rebalancing; call Rebalance manually).
+	RebalanceEvery int
+
+	// Thermo, when non-nil, is applied after every step (NVT dynamics).
+	Thermo thermo.Thermostat
+
+	workers  int
+	grid     *spatial.Grid
+	tasks    []task
+	assign   []int // task → worker
+	cellHome []int // cell → initially responsible worker (for ldb locality)
+	terms    []bondedRef
+
+	bins    [][]int32
+	forces  []vec.V3   // reduced forces
+	wforces [][]vec.V3 // per-worker force accumulators
+	wenergy []seq.Energies
+
+	cur      seq.Energies
+	fresh    bool
+	steps    int
+	balances int
+}
+
+// New creates an engine with the given number of workers (0 = NumCPU).
+func New(sys *topology.System, ff *forcefield.Params, st *topology.State, workers int) (*Engine, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if sys.N() != len(st.Pos) || sys.N() != len(st.Vel) {
+		return nil, fmt.Errorf("par: state size does not match system")
+	}
+	if !sys.ExclusionsBuilt() {
+		return nil, fmt.Errorf("par: exclusions not built")
+	}
+	grid, err := spatial.NewGrid(sys.Box, ff.Cutoff)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Sys: sys, FF: ff, St: st,
+		RebalanceEvery: 20,
+		workers:        workers,
+		grid:           grid,
+		forces:         make([]vec.V3, sys.N()),
+		wforces:        make([][]vec.V3, workers),
+		wenergy:        make([]seq.Energies, workers),
+	}
+	for wkr := range e.wforces {
+		e.wforces[wkr] = make([]vec.V3, sys.N())
+	}
+	e.buildTasks()
+	e.staticAssign()
+	return e, nil
+}
+
+// Workers returns the worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// NumTasks returns the number of decomposed work units.
+func (e *Engine) NumTasks() int { return len(e.tasks) }
+
+// Balances returns how many load-balancing passes have run.
+func (e *Engine) Balances() int { return e.balances }
+
+func (e *Engine) buildTasks() {
+	np := e.grid.NumPatches()
+	for c := 0; c < np; c++ {
+		e.tasks = append(e.tasks, task{kind: taskSelf, cellA: c, cells: []int{c}})
+	}
+	for _, pr := range e.grid.NeighborPairs() {
+		e.tasks = append(e.tasks, task{kind: taskPair, cellA: pr[0], cellB: pr[1], cells: []int{pr[0], pr[1]}})
+	}
+	for i := range e.Sys.Bonds {
+		e.terms = append(e.terms, bondedRef{0, int32(i)})
+	}
+	for i := range e.Sys.Angles {
+		e.terms = append(e.terms, bondedRef{1, int32(i)})
+	}
+	for i := range e.Sys.Dihedrals {
+		e.terms = append(e.terms, bondedRef{2, int32(i)})
+	}
+	for i := range e.Sys.Impropers {
+		e.terms = append(e.terms, bondedRef{3, int32(i)})
+	}
+	const chunk = 512
+	for lo := 0; lo < len(e.terms); lo += chunk {
+		hi := lo + chunk
+		if hi > len(e.terms) {
+			hi = len(e.terms)
+		}
+		e.tasks = append(e.tasks, task{kind: taskBonded, lo: lo, hi: hi})
+	}
+}
+
+// staticAssign distributes cells over workers with RCB and places each
+// task on the worker owning its (first) cell — the analogue of the
+// paper's static placement stage.
+func (e *Engine) staticAssign() {
+	np := e.grid.NumPatches()
+	centers := make([]vec.V3, np)
+	weights := make([]float64, np)
+	bins := e.grid.Bin(e.St.Pos)
+	for c := 0; c < np; c++ {
+		centers[c] = e.grid.Center(c)
+		weights[c] = float64(len(bins[c])) + 1
+	}
+	e.cellHome = spatial.RCB(centers, weights, e.workers)
+	e.assign = make([]int, len(e.tasks))
+	for ti, t := range e.tasks {
+		switch t.kind {
+		case taskSelf:
+			e.assign[ti] = e.cellHome[t.cellA]
+		case taskPair:
+			e.assign[ti] = e.cellHome[e.grid.BaseOf([]int{t.cellA, t.cellB})]
+		case taskBonded:
+			e.assign[ti] = ti % e.workers
+		}
+	}
+}
+
+// Rebalance remaps tasks to workers using the measured task times and the
+// same greedy+refine strategies as the cluster simulation.
+func (e *Engine) Rebalance() {
+	prob := &ldb.Problem{
+		NumPE:      e.workers,
+		NumPatches: e.grid.NumPatches(),
+		PatchHome:  e.cellHome,
+	}
+	for ti, t := range e.tasks {
+		prob.Objects = append(prob.Objects, ldb.Object{
+			Load:       t.measured,
+			Patches:    t.cells,
+			Migratable: true,
+			PE:         e.assign[ti],
+		})
+	}
+	assign := (&ldb.Greedy{}).Map(prob)
+	for i := range prob.Objects {
+		prob.Objects[i].PE = assign[i]
+	}
+	e.assign = (&ldb.Refine{}).Map(prob)
+	e.balances++
+}
+
+// ComputeForces evaluates all forces in parallel and returns energies
+// (kinetic included).
+func (e *Engine) ComputeForces() seq.Energies {
+	e.bins = e.grid.Bin(e.St.Pos)
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := e.wforces[w]
+			for i := range f {
+				f[i] = vec.Zero
+			}
+			var en seq.Energies
+			for ti := range e.tasks {
+				if e.assign[ti] != w {
+					continue
+				}
+				start := time.Now()
+				e.runTask(&e.tasks[ti], f, &en)
+				dt := time.Since(start).Seconds()
+				// Exponential smoothing stabilizes the measurements the
+				// balancer sees (principle of persistence).
+				t := &e.tasks[ti]
+				if t.measured == 0 {
+					t.measured = dt
+				} else {
+					t.measured = 0.7*t.measured + 0.3*dt
+				}
+			}
+			e.wenergy[w] = en
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic reduction: worker order is fixed.
+	n := e.Sys.N()
+	chunk := (n + e.workers - 1) / e.workers
+	var rg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		rg.Add(1)
+		go func(lo, hi int) {
+			defer rg.Done()
+			for i := lo; i < hi; i++ {
+				sum := vec.Zero
+				for w := 0; w < e.workers; w++ {
+					sum = sum.Add(e.wforces[w][i])
+				}
+				e.forces[i] = sum
+			}
+		}(lo, hi)
+	}
+	rg.Wait()
+
+	var en seq.Energies
+	for w := 0; w < e.workers; w++ {
+		en.Bond += e.wenergy[w].Bond
+		en.Angle += e.wenergy[w].Angle
+		en.Dihedral += e.wenergy[w].Dihedral
+		en.Improper += e.wenergy[w].Improper
+		en.VdW += e.wenergy[w].VdW
+		en.Elec += e.wenergy[w].Elec
+		en.Virial += e.wenergy[w].Virial
+	}
+	e.cur = en
+	e.fresh = true
+	en.Kinetic = e.Kinetic()
+	return en
+}
+
+func (e *Engine) runTask(t *task, f []vec.V3, en *seq.Energies) {
+	switch t.kind {
+	case taskSelf:
+		atoms := e.bins[t.cellA]
+		for x := 0; x < len(atoms); x++ {
+			for y := x + 1; y < len(atoms); y++ {
+				e.pairInteract(atoms[x], atoms[y], f, en)
+			}
+		}
+	case taskPair:
+		for _, i := range e.bins[t.cellA] {
+			for _, j := range e.bins[t.cellB] {
+				e.pairInteract(i, j, f, en)
+			}
+		}
+	case taskBonded:
+		e.bondedRange(t.lo, t.hi, f, en)
+	}
+}
+
+func (e *Engine) pairInteract(i, j int32, f []vec.V3, en *seq.Energies) {
+	d := vec.MinImage(e.St.Pos[i], e.St.Pos[j], e.Sys.Box)
+	r2 := d.Norm2()
+	if r2 >= e.FF.Cutoff*e.FF.Cutoff {
+		return
+	}
+	kind := e.Sys.Classify(i, j)
+	if kind == topology.PairExcluded {
+		return
+	}
+	ai, aj := &e.Sys.Atoms[i], &e.Sys.Atoms[j]
+	evdw, eelec, fOverR := e.FF.Nonbonded(ai.Type, aj.Type, ai.Charge, aj.Charge, r2, kind == topology.PairModified)
+	en.VdW += evdw
+	en.Elec += eelec
+	fv := d.Scale(fOverR)
+	en.Virial += fv.Dot(d)
+	f[i] = f[i].Add(fv)
+	f[j] = f[j].Sub(fv)
+}
+
+func (e *Engine) bondedRange(lo, hi int, f []vec.V3, en *seq.Energies) {
+	pos, box := e.St.Pos, e.Sys.Box
+	for _, ref := range e.terms[lo:hi] {
+		switch ref.kind {
+		case 0:
+			b := e.Sys.Bonds[ref.idx]
+			fi, fj, eb := e.FF.BondForce(b.Type, pos[b.I], pos[b.J], box)
+			en.Bond += eb
+			en.Virial += fi.Dot(vec.MinImage(pos[b.I], pos[b.J], box))
+			f[b.I] = f[b.I].Add(fi)
+			f[b.J] = f[b.J].Add(fj)
+		case 1:
+			a := e.Sys.Angles[ref.idx]
+			fi, fj, fk, ea := e.FF.AngleForce(a.Type, pos[a.I], pos[a.J], pos[a.K], box)
+			en.Angle += ea
+			en.Virial += fi.Dot(vec.MinImage(pos[a.I], pos[a.J], box)) +
+				fk.Dot(vec.MinImage(pos[a.K], pos[a.J], box))
+			f[a.I] = f[a.I].Add(fi)
+			f[a.J] = f[a.J].Add(fj)
+			f[a.K] = f[a.K].Add(fk)
+		case 2:
+			d := e.Sys.Dihedrals[ref.idx]
+			fi, fj, fk, fl, ed := e.FF.DihedralForce(d.Type, pos[d.I], pos[d.J], pos[d.K], pos[d.L], box)
+			en.Dihedral += ed
+			en.Virial += fi.Dot(vec.MinImage(pos[d.I], pos[d.J], box)) +
+				fk.Dot(vec.MinImage(pos[d.K], pos[d.J], box)) +
+				fl.Dot(vec.MinImage(pos[d.L], pos[d.J], box))
+			f[d.I] = f[d.I].Add(fi)
+			f[d.J] = f[d.J].Add(fj)
+			f[d.K] = f[d.K].Add(fk)
+			f[d.L] = f[d.L].Add(fl)
+		case 3:
+			d := e.Sys.Impropers[ref.idx]
+			fi, fj, fk, fl, ei := e.FF.ImproperForce(d.Type, pos[d.I], pos[d.J], pos[d.K], pos[d.L], box)
+			en.Improper += ei
+			en.Virial += fi.Dot(vec.MinImage(pos[d.I], pos[d.J], box)) +
+				fk.Dot(vec.MinImage(pos[d.K], pos[d.J], box)) +
+				fl.Dot(vec.MinImage(pos[d.L], pos[d.J], box))
+			f[d.I] = f[d.I].Add(fi)
+			f[d.J] = f[d.J].Add(fj)
+			f[d.K] = f[d.K].Add(fk)
+			f[d.L] = f[d.L].Add(fl)
+		}
+	}
+}
+
+// Forces returns the reduced force array from the last evaluation.
+func (e *Engine) Forces() []vec.V3 {
+	if !e.fresh {
+		e.ComputeForces()
+	}
+	return e.forces
+}
+
+// Energies returns the last evaluation's energies plus current kinetic.
+func (e *Engine) Energies() seq.Energies {
+	if !e.fresh {
+		e.ComputeForces()
+	}
+	en := e.cur
+	en.Kinetic = e.Kinetic()
+	return en
+}
+
+// Kinetic returns the kinetic energy in kcal/mol.
+func (e *Engine) Kinetic() float64 {
+	ke := 0.0
+	for i, v := range e.St.Vel {
+		ke += 0.5 * e.Sys.Atoms[i].Mass * v.Norm2()
+	}
+	return ke / units.ForceToAccel
+}
+
+// Temperature returns the instantaneous temperature in K.
+func (e *Engine) Temperature() float64 {
+	return units.KineticToKelvin(e.Kinetic(), 3*e.Sys.N())
+}
+
+// Step advances one velocity-Verlet step of dt femtoseconds, with the
+// force evaluation parallelized across workers.
+func (e *Engine) Step(dt float64) {
+	if !e.fresh {
+		e.ComputeForces()
+	}
+	pos, vel := e.St.Pos, e.St.Vel
+	for i := range pos {
+		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
+		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
+		pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dt)), e.Sys.Box)
+	}
+	e.ComputeForces()
+	for i := range vel {
+		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
+		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
+	}
+	if e.Thermo != nil {
+		e.Thermo.Apply(e.Sys, e.St, dt)
+	}
+	e.steps++
+	if e.RebalanceEvery > 0 && e.steps%e.RebalanceEvery == 0 {
+		e.Rebalance()
+	}
+}
+
+// Run advances n steps and returns the final energies.
+func (e *Engine) Run(n int, dt float64) seq.Energies {
+	for s := 0; s < n; s++ {
+		e.Step(dt)
+	}
+	return e.Energies()
+}
+
+// WorkerLoads returns the most recent measured per-worker load in
+// seconds per force evaluation (for diagnostics and examples).
+func (e *Engine) WorkerLoads() []float64 {
+	out := make([]float64, e.workers)
+	for ti, t := range e.tasks {
+		out[e.assign[ti]] += t.measured
+	}
+	return out
+}

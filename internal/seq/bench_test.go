@@ -1,0 +1,58 @@
+package seq
+
+import (
+	"testing"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/molgen"
+)
+
+// benchEngine builds a medium water box once per benchmark.
+func benchEngine(b *testing.B, pairlist bool) *Engine {
+	b.Helper()
+	sys, st, err := molgen.Build(molgen.WaterBox(22, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(sys, forcefield.Standard(9.0), st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Minimize(50, 0.2)
+	if pairlist {
+		eng.EnablePairlist(1.5)
+	}
+	return eng
+}
+
+// BenchmarkForceEvalCellList measures a full force evaluation with direct
+// cell lists (~3100 atoms, 9 Å cutoff).
+func BenchmarkForceEvalCellList(b *testing.B) {
+	eng := benchEngine(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.fresh = false
+		eng.ComputeForces()
+	}
+}
+
+// BenchmarkForceEvalPairlist measures the same evaluation through a
+// Verlet pairlist (list reused across iterations, as in dynamics).
+func BenchmarkForceEvalPairlist(b *testing.B) {
+	eng := benchEngine(b, true)
+	eng.ComputeForces() // build the list
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.fresh = false
+		eng.ComputeForces()
+	}
+}
+
+// BenchmarkMDStep measures one full velocity-Verlet step.
+func BenchmarkMDStep(b *testing.B) {
+	eng := benchEngine(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(0.5)
+	}
+}

@@ -1,0 +1,125 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/molgen"
+	"gonamd/internal/vec"
+)
+
+func constrainedWaterSetup(t *testing.T) (*Engine, *Constraints) {
+	t.Helper()
+	sys, st, err := molgen.Build(molgen.WaterBox(14, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(6.0)
+	eng, err := New(sys, ff, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Minimize(150, 0.2)
+	c, err := NewHBondConstraints(sys, func(typ int32) float64 { return ff.BondTypes[typ].R0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every water O-H bond is constrained.
+	if c.Count() != len(sys.Bonds) {
+		t.Fatalf("constraints = %d, bonds = %d", c.Count(), len(sys.Bonds))
+	}
+	return eng, c
+}
+
+func TestShakeHoldsBondLengths(t *testing.T) {
+	eng, c := constrainedWaterSetup(t)
+	ff := eng.FF
+	for s := 0; s < 50; s++ {
+		if err := eng.StepConstrained(1.0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range eng.Sys.Bonds {
+		r := vec.MinImage(eng.St.Pos[b.I], eng.St.Pos[b.J], eng.Sys.Box).Norm()
+		want := ff.BondTypes[b.Type].R0
+		if math.Abs(r-want) > 1e-3*want {
+			t.Fatalf("bond %d-%d length %.6f, constrained to %.6f", b.I, b.J, r, want)
+		}
+	}
+}
+
+func TestRattleRemovesBondVelocity(t *testing.T) {
+	eng, c := constrainedWaterSetup(t)
+	if err := eng.StepConstrained(1.0, c); err != nil {
+		t.Fatal(err)
+	}
+	// After RATTLE, relative velocity along each bond must vanish.
+	for _, b := range eng.Sys.Bonds {
+		d := vec.MinImage(eng.St.Pos[b.I], eng.St.Pos[b.J], eng.Sys.Box)
+		vRel := eng.St.Vel[b.I].Sub(eng.St.Vel[b.J])
+		if dot := math.Abs(d.Dot(vRel)); dot > 1e-9 {
+			t.Fatalf("bond %d-%d has radial velocity %.2e", b.I, b.J, dot)
+		}
+	}
+}
+
+func TestConstrainedLargerTimestepStable(t *testing.T) {
+	// With O-H bonds frozen, a 2 fs timestep is stable, which it is not
+	// for unconstrained TIP3P-like water. Check energy stays bounded.
+	eng, c := constrainedWaterSetup(t)
+	e0 := eng.Energies().Total()
+	for s := 0; s < 100; s++ {
+		if err := eng.StepConstrained(2.0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := eng.Energies().Total()
+	ke := eng.Kinetic()
+	if ke == 0 {
+		t.Fatal("system froze")
+	}
+	if math.Abs(e1-e0) > 0.5*ke {
+		t.Errorf("constrained 2 fs run drifted %.1f kcal/mol (KE %.1f)", e1-e0, ke)
+	}
+}
+
+func TestConstraintsSkipHeavyBonds(t *testing.T) {
+	// A protein-like chain has C-C and C-N bonds that must NOT be
+	// constrained; only X-H bonds are.
+	spec := molgen.Spec{
+		Name: "mix", Box: vec.New(30, 30, 30), TargetAtoms: 600,
+		ProteinChains: 1, ChainResidues: 10, Seed: 3,
+	}
+	sys, _, err := molgen.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(9.0)
+	c, err := NewHBondConstraints(sys, func(typ int32) float64 { return ff.BondTypes[typ].R0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withH := 0
+	for _, b := range sys.Bonds {
+		if sys.Atoms[b.I].Mass < 3.5 || sys.Atoms[b.J].Mass < 3.5 {
+			withH++
+		}
+	}
+	if c.Count() != withH {
+		t.Errorf("constraints = %d, bonds with H = %d", c.Count(), withH)
+	}
+	if c.Count() == len(sys.Bonds) {
+		t.Error("heavy-atom bonds were constrained too")
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	sys, _, err := molgen.Build(molgen.WaterBox(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHBondConstraints(sys, func(int32) float64 { return 0 }); err == nil {
+		t.Error("zero target length accepted")
+	}
+}

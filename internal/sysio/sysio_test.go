@@ -1,0 +1,64 @@
+package sysio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gonamd/internal/molgen"
+	"gonamd/internal/topology"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(14, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, sys, st); err != nil {
+		t.Fatal(err)
+	}
+	sys2, st2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.N() != sys.N() || len(sys2.Bonds) != len(sys.Bonds) ||
+		len(sys2.Angles) != len(sys.Angles) || sys2.Box != sys.Box || sys2.Name != sys.Name {
+		t.Fatal("topology mismatch after round trip")
+	}
+	for i := range st.Pos {
+		if st.Pos[i] != st2.Pos[i] || st.Vel[i] != st2.Vel[i] {
+			t.Fatalf("state mismatch at atom %d", i)
+		}
+	}
+	// Exclusions were rebuilt.
+	if !sys2.ExclusionsBuilt() {
+		t.Fatal("exclusions not rebuilt on load")
+	}
+	f1, m1 := sys.NumExclusions()
+	f2, m2 := sys2.NumExclusions()
+	if f1 != f2 || m1 != m2 {
+		t.Errorf("exclusions (%d,%d) vs (%d,%d)", f1, m1, f2, m2)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("not a system file")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSaveValidates(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &topology.State{Pos: st.Pos[:3], Vel: st.Vel[:3]}
+	var buf bytes.Buffer
+	if err := Save(&buf, sys, bad); err == nil {
+		t.Error("mismatched state accepted")
+	}
+}

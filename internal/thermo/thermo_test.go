@@ -1,0 +1,113 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+
+	"gonamd/internal/molgen"
+	"gonamd/internal/topology"
+)
+
+func waterSystem(t *testing.T) (*topology.System, *topology.State) {
+	t.Helper()
+	sys, st, err := molgen.Build(molgen.WaterBox(14, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, st
+}
+
+func TestTemperatureMatchesBuilder(t *testing.T) {
+	sys, st := waterSystem(t)
+	if temp := Temperature(sys, st); math.Abs(temp-300) > 25 {
+		t.Errorf("temperature %.1f, want ≈ 300", temp)
+	}
+	zero := topology.NewState(sys.N())
+	if Temperature(sys, zero) != 0 {
+		t.Error("zero velocities should give zero temperature")
+	}
+}
+
+func TestRescaleExact(t *testing.T) {
+	sys, st := waterSystem(t)
+	r := &Rescale{Target: 150}
+	r.Apply(sys, st, 1.0)
+	if temp := Temperature(sys, st); math.Abs(temp-150) > 1e-9 {
+		t.Errorf("rescaled temperature %.3f, want exactly 150", temp)
+	}
+}
+
+func TestRescaleInterval(t *testing.T) {
+	sys, st := waterSystem(t)
+	before := Temperature(sys, st)
+	r := &Rescale{Target: 100, Interval: 3}
+	r.Apply(sys, st, 1.0) // step 1: no-op
+	r.Apply(sys, st, 1.0) // step 2: no-op
+	if temp := Temperature(sys, st); math.Abs(temp-before) > 1e-9 {
+		t.Errorf("rescale fired before interval: %.2f", temp)
+	}
+	r.Apply(sys, st, 1.0) // step 3: fires
+	if temp := Temperature(sys, st); math.Abs(temp-100) > 1e-9 {
+		t.Errorf("rescale did not fire at interval: %.2f", temp)
+	}
+}
+
+func TestBerendsenRelaxes(t *testing.T) {
+	sys, st := waterSystem(t)
+	b := &Berendsen{Target: 150, Tau: 20}
+	prev := Temperature(sys, st)
+	for s := 0; s < 200; s++ {
+		b.Apply(sys, st, 1.0)
+		cur := Temperature(sys, st)
+		if math.Abs(cur-150) > math.Abs(prev-150)+1e-9 {
+			t.Fatalf("step %d: temperature moved away from target: %.2f -> %.2f", s, prev, cur)
+		}
+		prev = cur
+	}
+	if math.Abs(prev-150) > 2 {
+		t.Errorf("temperature after relaxation %.2f, want ≈ 150", prev)
+	}
+}
+
+func TestLangevinStationaryTemperature(t *testing.T) {
+	sys, st := waterSystem(t)
+	l := &Langevin{Target: 250, Gamma: 0.05, Seed: 5}
+	// Drive from 300 K and average the stationary temperature.
+	for s := 0; s < 300; s++ {
+		l.Apply(sys, st, 1.0)
+	}
+	sum, n := 0.0, 0
+	for s := 0; s < 500; s++ {
+		l.Apply(sys, st, 1.0)
+		sum += Temperature(sys, st)
+		n++
+	}
+	avg := sum / float64(n)
+	if math.Abs(avg-250) > 12 {
+		t.Errorf("Langevin stationary temperature %.1f, want ≈ 250", avg)
+	}
+}
+
+func TestLangevinDeterministic(t *testing.T) {
+	sys, st1 := waterSystem(t)
+	_, st2 := waterSystem(t)
+	l1 := &Langevin{Target: 300, Gamma: 0.01, Seed: 9}
+	l2 := &Langevin{Target: 300, Gamma: 0.01, Seed: 9}
+	for s := 0; s < 10; s++ {
+		l1.Apply(sys, st1, 0.5)
+		l2.Apply(sys, st2, 0.5)
+	}
+	for i := range st1.Vel {
+		if st1.Vel[i] != st2.Vel[i] {
+			t.Fatalf("same seed diverged at atom %d", i)
+		}
+	}
+}
+
+func TestThermostatNames(t *testing.T) {
+	for _, th := range []Thermostat{&Rescale{}, &Berendsen{}, &Langevin{}} {
+		if th.Name() == "" {
+			t.Errorf("%T has empty name", th)
+		}
+	}
+}

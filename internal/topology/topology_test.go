@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gonamd/internal/vec"
+	"gonamd/internal/xrand"
+)
+
+// buildChain makes a linear chain of n atoms bonded 0-1-2-...-(n-1).
+func buildChain(t *testing.T, n int) *System {
+	t.Helper()
+	b := NewBuilder("chain", vec.New(100, 100, 100))
+	b.BeginMolecule()
+	for i := 0; i < n; i++ {
+		b.AddAtom(0, 12.0, 0)
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddBond(int32(i), int32(i+1), 0)
+	}
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return sys
+}
+
+func TestChainExclusions(t *testing.T) {
+	sys := buildChain(t, 6)
+	cases := []struct {
+		i, j int32
+		want PairKind
+	}{
+		{0, 1, PairExcluded}, // 1-2
+		{0, 2, PairExcluded}, // 1-3
+		{0, 3, PairModified}, // 1-4
+		{0, 4, PairNormal},   // 1-5
+		{0, 5, PairNormal},
+		{2, 5, PairModified},
+		{1, 0, PairExcluded}, // order independent
+		{3, 0, PairModified},
+	}
+	for _, c := range cases {
+		if got := sys.Classify(c.i, c.j); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestRingExclusions(t *testing.T) {
+	// A 5-ring: every pair is within 2 bonds of each other, so all pairs
+	// are fully excluded, even the ones that are also 1-4 via the long
+	// way around.
+	b := NewBuilder("ring", vec.New(50, 50, 50))
+	b.BeginMolecule()
+	for i := 0; i < 5; i++ {
+		b.AddAtom(0, 12.0, 0)
+	}
+	for i := 0; i < 5; i++ {
+		b.AddBond(int32(i), int32((i+1)%5), 0)
+	}
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if got := sys.Classify(i, j); got != PairExcluded {
+				t.Errorf("ring Classify(%d,%d) = %v, want PairExcluded", i, j, got)
+			}
+		}
+	}
+}
+
+func TestWaterExclusions(t *testing.T) {
+	// Water: O bonded to H1 and H2. All three pairs excluded (H-H is 1-3).
+	b := NewBuilder("water", vec.New(20, 20, 20))
+	b.BeginMolecule()
+	o := b.AddAtom(0, 15.999, -0.834)
+	h1 := b.AddAtom(1, 1.008, 0.417)
+	h2 := b.AddAtom(1, 1.008, 0.417)
+	b.AddBond(o, h1, 0)
+	b.AddBond(o, h2, 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for _, p := range [][2]int32{{o, h1}, {o, h2}, {h1, h2}} {
+		if got := sys.Classify(p[0], p[1]); got != PairExcluded {
+			t.Errorf("water Classify(%d,%d) = %v, want PairExcluded", p[0], p[1], got)
+		}
+	}
+	full, mod := sys.NumExclusions()
+	if full != 3 || mod != 0 {
+		t.Errorf("water exclusions = (%d, %d), want (3, 0)", full, mod)
+	}
+}
+
+func TestBranchedExclusions(t *testing.T) {
+	// A star: center 0 bonded to 1,2,3. Pairs (1,2),(1,3),(2,3) are 1-3.
+	b := NewBuilder("star", vec.New(20, 20, 20))
+	b.BeginMolecule()
+	for i := 0; i < 4; i++ {
+		b.AddAtom(0, 12, 0)
+	}
+	for i := int32(1); i < 4; i++ {
+		b.AddBond(0, i, 0)
+	}
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for i := int32(1); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if sys.Classify(i, j) != PairExcluded {
+				t.Errorf("star Classify(%d,%d) != excluded", i, j)
+			}
+		}
+	}
+}
+
+func TestSeparateMoleculesDoNotExclude(t *testing.T) {
+	b := NewBuilder("two", vec.New(20, 20, 20))
+	b.BeginMolecule()
+	a0 := b.AddAtom(0, 12, 0)
+	a1 := b.AddAtom(0, 12, 0)
+	b.AddBond(a0, a1, 0)
+	b.BeginMolecule()
+	b0 := b.AddAtom(0, 12, 0)
+	b1 := b.AddAtom(0, 12, 0)
+	b.AddBond(b0, b1, 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if sys.Classify(a0, b0) != PairNormal {
+		t.Error("atoms in different molecules should interact normally")
+	}
+	if sys.Atoms[a0].Molecule == sys.Atoms[b0].Molecule {
+		t.Error("molecule ids should differ")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func() *System {
+		return &System{
+			Box:   vec.New(10, 10, 10),
+			Atoms: []Atom{{Mass: 1}, {Mass: 1}},
+		}
+	}
+
+	s := mk()
+	s.Bonds = []Bond{{I: 0, J: 5}}
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range bond not caught")
+	}
+
+	s = mk()
+	s.Bonds = []Bond{{I: 1, J: 1}}
+	if err := s.Validate(); err == nil {
+		t.Error("self-bond not caught")
+	}
+
+	s = mk()
+	s.Bonds = []Bond{{I: 0, J: 1}, {I: 1, J: 0}}
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate bond not caught")
+	}
+
+	s = mk()
+	s.Atoms[0].Mass = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero mass not caught")
+	}
+
+	s = mk()
+	s.Box = vec.New(10, -1, 10)
+	if err := s.Validate(); err == nil {
+		t.Error("negative box not caught")
+	}
+
+	s = mk()
+	s.Angles = []Angle{{I: 0, J: 0, K: 1}}
+	if err := s.Validate(); err == nil {
+		t.Error("degenerate angle not caught")
+	}
+
+	s = mk()
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+// Property: Classify is symmetric for random bond graphs.
+func TestClassifySymmetryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(20)
+		b := NewBuilder("rand", vec.New(50, 50, 50))
+		b.BeginMolecule()
+		for i := 0; i < n; i++ {
+			b.AddAtom(0, 1, 0)
+		}
+		// Random tree plus a few extra edges.
+		added := map[[2]int32]bool{}
+		for i := 1; i < n; i++ {
+			j := r.Intn(i)
+			b.AddBond(int32(j), int32(i), 0)
+			added[[2]int32{int32(j), int32(i)}] = true
+		}
+		for e := 0; e < n/3; e++ {
+			i, j := int32(r.Intn(n)), int32(r.Intn(n))
+			if i == j {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			if added[[2]int32{i, j}] {
+				continue
+			}
+			added[[2]int32{i, j}] = true
+			b.AddBond(i, j, 0)
+		}
+		sys, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		for i := int32(0); i < int32(n); i++ {
+			for j := i + 1; j < int32(n); j++ {
+				if sys.Classify(i, j) != sys.Classify(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every bonded pair is excluded; exclusion lists only contain
+// j > i and are sorted.
+func TestExclusionInvariants(t *testing.T) {
+	sys := buildChain(t, 30)
+	for _, bnd := range sys.Bonds {
+		if sys.Classify(bnd.I, bnd.J) != PairExcluded {
+			t.Errorf("bonded pair (%d,%d) not excluded", bnd.I, bnd.J)
+		}
+	}
+	for i := range sys.excl {
+		prev := int32(-1)
+		for _, j := range sys.excl[i] {
+			if j <= int32(i) {
+				t.Errorf("excl[%d] contains %d <= i", i, j)
+			}
+			if j <= prev {
+				t.Errorf("excl[%d] not strictly sorted", i)
+			}
+			prev = j
+		}
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	s := NewState(3)
+	s.Pos[0] = vec.New(1, 2, 3)
+	s.Vel[2] = vec.New(-1, 0, 1)
+	c := s.Clone()
+	c.Pos[0] = vec.New(9, 9, 9)
+	if s.Pos[0] != vec.New(1, 2, 3) {
+		t.Error("Clone shares Pos storage")
+	}
+	if c.Vel[2] != vec.New(-1, 0, 1) {
+		t.Error("Clone lost Vel data")
+	}
+}
+
+func TestNumBondedTerms(t *testing.T) {
+	b := NewBuilder("terms", vec.New(30, 30, 30))
+	b.BeginMolecule()
+	for i := 0; i < 5; i++ {
+		b.AddAtom(0, 12, 0)
+	}
+	b.AddBond(0, 1, 0)
+	b.AddBond(1, 2, 0)
+	b.AddBond(2, 3, 0)
+	b.AddBond(3, 4, 0)
+	b.AddAngle(0, 1, 2, 0)
+	b.AddAngle(1, 2, 3, 0)
+	b.AddDihedral(0, 1, 2, 3, 0)
+	b.AddImproper(1, 0, 2, 3, 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if got := sys.NumBondedTerms(); got != 8 {
+		t.Errorf("NumBondedTerms = %d, want 8", got)
+	}
+}
+
+// Property: for a linear chain of n atoms the exclusion counts are known
+// analytically: (n-1) 1-2 pairs + (n-2) 1-3 pairs fully excluded, and
+// (n-3) modified 1-4 pairs.
+func TestChainExclusionCountsProperty(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 17, 40} {
+		sys := buildChain(t, n)
+		full, mod := sys.NumExclusions()
+		wantFull := (n - 1) + (n - 2)
+		wantMod := n - 3
+		if full != wantFull || mod != wantMod {
+			t.Errorf("chain n=%d: exclusions (%d, %d), want (%d, %d)", n, full, mod, wantFull, wantMod)
+		}
+	}
+}

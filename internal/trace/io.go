@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonRecord is the serialized form of an ExecRecord (JSON Lines).
+type jsonRecord struct {
+	PE    int32      `json:"pe"`
+	Obj   int32      `json:"obj"`
+	Entry string     `json:"entry"`
+	Start float64    `json:"start"`
+	End   float64    `json:"end"`
+	Spans []jsonSpan `json:"spans,omitempty"`
+}
+
+type jsonSpan struct {
+	Cat string  `json:"cat"`
+	Dur float64 `json:"dur"`
+}
+
+func catFromString(s string) (Category, error) {
+	for c := Category(0); c < numCategories; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown category %q", s)
+}
+
+// WriteJSON streams the log as JSON Lines (one record per line), the
+// analogue of Projections writing its event logs at program end.
+func (l *Log) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range l.Records {
+		jr := jsonRecord{PE: r.PE, Obj: r.Obj, Entry: r.Entry, Start: r.Start, End: r.End}
+		for _, sp := range r.Spans {
+			jr.Spans = append(jr.Spans, jsonSpan{Cat: sp.Cat.String(), Dur: sp.Dur})
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON loads a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	l := NewLog()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err != nil {
+			if err == io.EOF {
+				return l, nil
+			}
+			return nil, fmt.Errorf("trace: decoding record %d: %w", len(l.Records), err)
+		}
+		rec := ExecRecord{PE: jr.PE, Obj: jr.Obj, Entry: jr.Entry, Start: jr.Start, End: jr.End}
+		for _, sp := range jr.Spans {
+			cat, err := catFromString(sp.Cat)
+			if err != nil {
+				return nil, err
+			}
+			rec.Spans = append(rec.Spans, Span{Cat: cat, Dur: sp.Dur})
+		}
+		l.Records = append(l.Records, rec)
+	}
+}

@@ -1,0 +1,46 @@
+// Package units defines the unit system and physical constants used by the
+// engine. Like CHARMM and NAMD we use the "AKMA-like" system:
+//
+//	length   Å
+//	energy   kcal/mol
+//	mass     amu (g/mol)
+//	charge   elementary charge e
+//	time     fs (femtoseconds)
+//
+// With these units the equations of motion need a conversion factor,
+// because 1 kcal/mol/Å acting on 1 amu does not produce 1 Å/fs² of
+// acceleration. ForceToAccel converts (kcal/mol/Å)/amu to Å/fs².
+package units
+
+// Coulomb is the electrostatic constant in kcal·Å/(mol·e²):
+// qq/r with q in elementary charges and r in Å gives kcal/mol after
+// multiplying by this constant. Value used by CHARMM/NAMD.
+const Coulomb = 332.0636
+
+// ForceToAccel converts force/mass in (kcal/mol/Å)/amu to acceleration in
+// Å/fs². Derivation: 1 kcal/mol = 4184 J/mol; 1 amu = 1e-3 kg/mol;
+// a [m/s²] = 4184/(1e-3 × 1e-10) × (F/m) = 4.184e16 F/m [m/s²]
+// = 4.184e16 × 1e10 Å / (1e15 fs)² = 4.184e-4 Å/fs².
+const ForceToAccel = 4.184e-4
+
+// Boltzmann is k_B in kcal/(mol·K).
+const Boltzmann = 0.0019872041
+
+// KineticToKelvin converts per-degree-of-freedom kinetic energy:
+// T = 2·KE / (dof · Boltzmann), with KE in kcal/mol.
+func KineticToKelvin(ke float64, dof int) float64 {
+	if dof <= 0 {
+		return 0
+	}
+	return 2 * ke / (float64(dof) * Boltzmann)
+}
+
+// MassH, MassC, MassN, MassO, MassP are atomic masses in amu for the atom
+// classes the synthetic systems use.
+const (
+	MassH = 1.008
+	MassC = 12.011
+	MassN = 14.007
+	MassO = 15.999
+	MassP = 30.974
+)
