@@ -1,0 +1,28 @@
+# CI entry points. `make ci` is what every change should pass: vet, build,
+# and the full test suite under the race detector — the ensemble scheduler
+# (internal/ensemble) advances replicas on a concurrent worker pool, so
+# race-checking on every change is not optional.
+
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a quick smoke that the benchmarks still run.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: vet build race

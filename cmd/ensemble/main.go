@@ -1,0 +1,189 @@
+// Command ensemble runs replica-exchange molecular dynamics: N replicas
+// of a synthetic system on a geometric temperature ladder, advanced
+// concurrently with periodic Metropolis exchanges, with atomic
+// checkpointing and exact restart.
+//
+// Usage:
+//
+//	ensemble -system water -side 14 -replicas 4 -tmin 300 -tmax 400 -steps 1000
+//	ensemble -system br -replicas 8 -steps 5000 -ckpt br.ckpt -ckptevery 500
+//	ensemble -system br -replicas 8 -steps 5000 -ckpt br.ckpt -resume
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gonamd"
+	"gonamd/internal/sysio"
+)
+
+func main() {
+	log.SetFlags(0)
+	system := flag.String("system", "water", "system: water, br, apoa1, bc1")
+	inFile := flag.String("in", "", "load a system saved by molgen -o instead of building one")
+	side := flag.Float64("side", 14, "water box side length, Å")
+	seed := flag.Uint64("seed", 1, "builder and ensemble seed")
+	replicas := flag.Int("replicas", 4, "number of replicas (ladder rungs)")
+	tmin := flag.Float64("tmin", 300, "coldest rung, K")
+	tmax := flag.Float64("tmax", 400, "hottest rung, K")
+	steps := flag.Int("steps", 1000, "MD steps to advance every replica")
+	dt := flag.Float64("dt", 0.5, "timestep, fs")
+	gamma := flag.Float64("gamma", 0.005, "Langevin friction, 1/fs")
+	exchange := flag.Int("exchange", 100, "steps between exchange attempts (<0 disables)")
+	workers := flag.Int("workers", 0, "concurrent replicas (0 = all cores)")
+	engineWorkers := flag.Int("engineworkers", 0, "workers per replica engine (0 = auto, 1 = sequential)")
+	minimize := flag.Int("minimize", 200, "minimization iterations before dynamics")
+	cutoff := flag.Float64("cutoff", 9.0, "nonbonded cutoff, Å")
+	every := flag.Int("every", 0, "print a status line every N steps (0 = each exchange interval)")
+	ckptPath := flag.String("ckpt", "", "checkpoint file (written atomically)")
+	ckptEvery := flag.Int("ckptevery", 0, "checkpoint every N steps (0 = only at end)")
+	resume := flag.Bool("resume", false, "resume from -ckpt before running")
+	tracePath := flag.String("trace", "", "write the Projections-style event log (JSON lines) here")
+	flag.Parse()
+
+	var sys *gonamd.System
+	var st *gonamd.State
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, st, err = sysio.Load(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var spec gonamd.Spec
+		switch *system {
+		case "water":
+			spec = gonamd.WaterBoxSpec(*side, *seed)
+		case "br":
+			spec = gonamd.BRSpec()
+		case "apoa1":
+			spec = gonamd.ApoA1Spec()
+		case "bc1":
+			spec = gonamd.BC1Spec()
+		default:
+			log.Fatalf("unknown system %q", *system)
+		}
+		var err error
+		sys, st, err = gonamd.BuildSystem(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ff := gonamd.StandardForceField(*cutoff)
+	fmt.Printf("%s: %d atoms, %d bonded terms, box %v\n", sys.Name, sys.N(), sys.NumBondedTerms(), sys.Box)
+
+	if *minimize > 0 {
+		m, err := gonamd.NewSequential(sys, ff, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e0 := m.Energies().Potential()
+		e1 := m.Minimize(*minimize, 0.2)
+		fmt.Printf("minimized %d iterations: %.1f -> %.1f kcal/mol\n", *minimize, e0, e1)
+	}
+
+	ladder := gonamd.GeometricLadder(*tmin, *tmax, *replicas)
+	tlog := gonamd.NewTraceLog()
+	cfg := gonamd.EnsembleConfig{
+		Temperatures:    ladder,
+		Dt:              *dt,
+		Gamma:           *gamma,
+		ExchangeEvery:   *exchange,
+		Seed:            *seed,
+		Workers:         *workers,
+		EngineWorkers:   *engineWorkers,
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		Trace:           tlog,
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		log.Fatal("-ckptevery requires -ckpt")
+	}
+	ens, err := gonamd.NewEnsemble(sys, ff, st, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble: %d replicas, ladder %.1f..%.1f K, exchange every %d steps\n",
+		*replicas, ladder[0], ladder[len(ladder)-1], *exchange)
+
+	if *resume {
+		if *ckptPath == "" {
+			log.Fatal("-resume requires -ckpt")
+		}
+		snap, err := gonamd.LoadCheckpointFile(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ens.Restore(snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed from %s at step %d\n", *ckptPath, ens.Step())
+	}
+
+	block := *every
+	if block <= 0 {
+		block = *exchange
+	}
+	if block <= 0 {
+		block = *steps
+	}
+	start := time.Now()
+	for done := 0; done < *steps; {
+		n := block
+		if *steps-done < n {
+			n = *steps - done
+		}
+		if err := ens.Run(n); err != nil {
+			log.Fatal(err)
+		}
+		done += n
+		fmt.Printf("step %6d ", ens.Step())
+		for i := 0; i < ens.NumReplicas(); i++ {
+			fmt.Printf(" U%d=%8.1f", i, ens.Replica(i).Potential())
+		}
+		fmt.Println(" kcal/mol")
+	}
+	el := time.Since(start)
+
+	att, acc := ens.ExchangeCounts()
+	rates := ens.AcceptanceRates()
+	fmt.Println("exchange acceptance per neighbor pair:")
+	for i, r := range rates {
+		fmt.Printf("  %5.1fK <-> %5.1fK: %3d/%3d = %.2f\n",
+			ladder[i], ladder[i+1], acc[i], att[i], r)
+	}
+	fmt.Printf("%d steps x %d replicas in %v (%.1f replica-steps/s)\n",
+		*steps, *replicas, el.Round(time.Millisecond),
+		float64(*steps**replicas)/el.Seconds())
+
+	if *ckptPath != "" {
+		if err := gonamd.SaveCheckpointFile(*ckptPath, ens.Snapshot()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("final checkpoint: %s (step %d)\n", *ckptPath, ens.Step())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tlog.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %s (%d records)\n", *tracePath, len(tlog.Records))
+	}
+}

@@ -48,7 +48,9 @@ func main() {
 			log.Fatal(err)
 		}
 		sys, st, err = sysio.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -137,17 +139,17 @@ func main() {
 	}
 
 	var tw *traj.Writer
+	var trajFile *os.File
 	if *trajPath != "" {
 		f, err := os.Create(*trajPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		trajFile = f
 		tw, err = traj.NewWriter(f, sys.N(), sys.Box)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer tw.Flush()
 	}
 
 	seqEng, _ := eng.(*gonamd.Sequential)
@@ -171,6 +173,15 @@ func main() {
 		}
 	}
 	if tw != nil {
+		// A buffered frame or close failure means the trajectory on disk
+		// is incomplete — that must not pass silently.
+		err := tw.Flush()
+		if cerr := trajFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing trajectory %s: %v", *trajPath, err)
+		}
 		fmt.Printf("wrote %d trajectory frames to %s\n", tw.Frames(), *trajPath)
 	}
 	el := time.Since(start)

@@ -82,9 +82,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := sysio.Save(f, sys, st); err != nil {
-			log.Fatal(err)
+		// Close errors are real write errors on buffered filesystems: a
+		// silently truncated system file would fail obscurely in mdrun.
+		err = sysio.Save(f, sys, st)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("saving %s: %v", *out, err)
 		}
 		fmt.Printf("saved:       %s\n", *out)
 	}

@@ -21,8 +21,10 @@
 package gonamd
 
 import (
+	"gonamd/internal/ckpt"
 	"gonamd/internal/converse"
 	"gonamd/internal/core"
+	"gonamd/internal/ensemble"
 	"gonamd/internal/forcefield"
 	"gonamd/internal/machine"
 	"gonamd/internal/molgen"
@@ -32,6 +34,7 @@ import (
 	"gonamd/internal/sysio"
 	"gonamd/internal/thermo"
 	"gonamd/internal/topology"
+	"gonamd/internal/trace"
 	"gonamd/internal/traj"
 )
 
@@ -179,6 +182,42 @@ var (
 var (
 	SaveSystem = sysio.Save
 	LoadSystem = sysio.Load
+)
+
+// Replica-exchange ensembles: N replicas on a temperature ladder,
+// advanced concurrently with periodic Metropolis exchanges, deterministic
+// per seed, checkpointable, and traced per replica.
+type (
+	// Ensemble is a replica-exchange run (create with NewEnsemble; Run,
+	// Checkpoint, and Resume drive it).
+	Ensemble = ensemble.Ensemble
+	// EnsembleConfig describes the ladder, schedule, and worker pool.
+	EnsembleConfig = ensemble.Config
+	// EnsembleReplica is one rung of a running ensemble.
+	EnsembleReplica = ensemble.Replica
+	// EnsembleCheckpoint is a decoded whole-ensemble snapshot.
+	EnsembleCheckpoint = ckpt.EnsembleState
+	// TraceLog collects Projections-style execution records; pass one in
+	// EnsembleConfig.Trace to instrument an ensemble.
+	TraceLog = trace.Log
+)
+
+// NewEnsemble builds a replica-exchange ensemble over the system: one
+// replica per ladder rung, each starting from a copy of st.
+func NewEnsemble(sys *System, ff *ForceField, st *State, cfg EnsembleConfig) (*Ensemble, error) {
+	return ensemble.New(sys, ff, st, cfg)
+}
+
+// GeometricLadder spaces n temperatures geometrically from tmin to tmax
+// (the standard REMD ladder); NewTraceLog creates an enabled trace log;
+// LoadCheckpoint and LoadCheckpointFile decode ensemble checkpoints, and
+// SaveCheckpointFile writes one atomically (temp file + rename).
+var (
+	GeometricLadder    = ensemble.GeometricLadder
+	NewTraceLog        = trace.NewLog
+	LoadCheckpoint     = ckpt.Load
+	LoadCheckpointFile = ckpt.LoadFile
+	SaveCheckpointFile = ckpt.SaveFile
 )
 
 // Machine models, calibrated from the paper's Table 1 using the ApoA-I

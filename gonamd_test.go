@@ -157,3 +157,67 @@ func TestFacadeNVT(t *testing.T) {
 		t.Errorf("NVT temperature %.1f, want near 200", temp)
 	}
 }
+
+// TestFacadeEnsemble exercises the replica-exchange API end to end:
+// build, run with exchanges, checkpoint to a buffer, resume into a fresh
+// ensemble, and verify the continuation is bitwise-identical.
+func TestFacadeEnsemble(t *testing.T) {
+	sys, st, err := gonamd.BuildSystem(gonamd.WaterBoxSpec(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := gonamd.StandardForceField(6.0)
+	m, err := gonamd.NewSequential(sys, ff, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Minimize(30, 0.2)
+
+	cfg := gonamd.EnsembleConfig{
+		Temperatures:  gonamd.GeometricLadder(300, 400, 3),
+		ExchangeEvery: 10,
+		Seed:          21,
+		Trace:         gonamd.NewTraceLog(),
+	}
+	ens, err := gonamd.NewEnsemble(sys, ff, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Run(20); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := gonamd.NewEnsemble(sys, ff, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Resume(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ens.NumReplicas(); i++ {
+		a, b := ens.Replica(i).State(), resumed.Replica(i).State()
+		for k := range a.Pos {
+			if a.Pos[k] != b.Pos[k] || a.Vel[k] != b.Vel[k] {
+				t.Fatalf("replica %d diverged after resume", i)
+			}
+		}
+	}
+	for i, rate := range ens.AcceptanceRates() {
+		if rate < 0 || rate > 1 {
+			t.Errorf("pair %d acceptance rate %v outside [0, 1]", i, rate)
+		}
+	}
+	if len(cfg.Trace.Records) == 0 {
+		t.Error("ensemble run left no trace records")
+	}
+}

@@ -1,0 +1,192 @@
+// Package ckpt persists ensemble checkpoints: the complete dynamic state
+// of a replica-exchange run (per-replica positions, velocities, thermostat
+// noise streams, and exchange statistics) in a versioned binary format, so
+// an interrupted ensemble resumes bit-for-bit where it left off.
+//
+// The on-disk layout is a fixed header followed by a gob payload
+// (sysio-style encoding, but integrity-checked):
+//
+//	magic    [12]byte  "gonamd-ckpt\n"
+//	version  uint32    little-endian, currently 1
+//	length   uint64    payload byte count
+//	checksum uint64    CRC-64/ECMA of the payload
+//	payload  []byte    gob-encoded EnsembleState
+//
+// Load rejects wrong magic, unknown versions, truncated files, and
+// payloads whose checksum does not match, each with a distinct error, so
+// a half-written or bit-rotted checkpoint can never be silently resumed.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gonamd/internal/vec"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+var magic = [12]byte{'g', 'o', 'n', 'a', 'm', 'd', '-', 'c', 'k', 'p', 't', '\n'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Sentinel errors, wrapped with context by Load.
+var (
+	ErrBadMagic  = errors.New("ckpt: not a gonamd checkpoint")
+	ErrVersion   = errors.New("ckpt: unsupported checkpoint version")
+	ErrTruncated = errors.New("ckpt: truncated checkpoint")
+	ErrCorrupt   = errors.New("ckpt: corrupt checkpoint")
+)
+
+// ReplicaState is one replica's snapshot: where it is on the ladder, how
+// far it has advanced, its full phase-space state, and the state of its
+// Langevin noise stream.
+type ReplicaState struct {
+	Temp      float64 // ladder temperature, K
+	Steps     int64   // MD steps this replica has advanced
+	Pos, Vel  []vec.V3
+	ThermoRNG [4]uint64 // Langevin noise stream (xrand state)
+}
+
+// EnsembleState is a whole-ensemble snapshot: every replica plus the
+// orchestrator's own state (global step count, exchange round parity,
+// exchange RNG stream, and per-neighbor-pair attempt/accept counters).
+type EnsembleState struct {
+	Step        int64 // ensemble MD step counter
+	Round       int64 // exchange rounds attempted (controls pair parity)
+	ExchangeRNG [4]uint64
+	Attempts    []int64 // per neighbor pair (i, i+1)
+	Accepts     []int64
+	Replicas    []ReplicaState
+}
+
+// Validate performs structural checks on a decoded snapshot.
+func (s *EnsembleState) Validate() error {
+	if len(s.Replicas) == 0 {
+		return fmt.Errorf("%w: no replicas", ErrCorrupt)
+	}
+	n := len(s.Replicas[0].Pos)
+	for i, r := range s.Replicas {
+		if len(r.Pos) != n || len(r.Vel) != n {
+			return fmt.Errorf("%w: replica %d has %d/%d pos/vel, want %d atoms",
+				ErrCorrupt, i, len(r.Pos), len(r.Vel), n)
+		}
+		if !(r.Temp > 0) {
+			return fmt.Errorf("%w: replica %d temperature %v", ErrCorrupt, i, r.Temp)
+		}
+	}
+	pairs := len(s.Replicas) - 1
+	if len(s.Attempts) != pairs || len(s.Accepts) != pairs {
+		return fmt.Errorf("%w: %d/%d attempt/accept counters for %d pairs",
+			ErrCorrupt, len(s.Attempts), len(s.Accepts), pairs)
+	}
+	for i := range s.Attempts {
+		if s.Accepts[i] < 0 || s.Attempts[i] < s.Accepts[i] {
+			return fmt.Errorf("%w: pair %d accepted %d of %d attempts",
+				ErrCorrupt, i, s.Accepts[i], s.Attempts[i])
+		}
+	}
+	return nil
+}
+
+// Save writes a checkpoint.
+func Save(w io.Writer, st *EnsembleState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("ckpt: encoding: %w", err)
+	}
+	var hdr [32]byte
+	copy(hdr[:12], magic[:])
+	binary.LittleEndian.PutUint32(hdr[12:16], Version)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(payload.Len()))
+	binary.LittleEndian.PutUint64(hdr[24:32], crc64.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckpt: writing header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("ckpt: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint written by Save.
+func Load(r io.Reader) (*EnsembleState, error) {
+	var hdr [32]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if !bytes.Equal(hdr[:12], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[12:16]); v != Version {
+		return nil, fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v, Version)
+	}
+	length := binary.LittleEndian.Uint64(hdr[16:24])
+	const maxPayload = 1 << 34 // 16 GiB: far above any real ensemble
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if sum := crc64.Checksum(payload, crcTable); sum != binary.LittleEndian.Uint64(hdr[24:32]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	st := &EnsembleState{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCorrupt, err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SaveFile writes a checkpoint atomically: to a temporary file in the
+// destination directory, synced, then renamed over path, so a crash
+// mid-write never destroys the previous good checkpoint.
+func SaveFile(path string, st *EnsembleState) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Save(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from a file.
+func LoadFile(path string) (*EnsembleState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,35 @@
+package ensemble
+
+import (
+	"fmt"
+	"testing"
+
+	"gonamd/internal/molgen"
+)
+
+// BenchmarkEnsembleStep measures ensemble throughput (replica-steps per
+// wall-clock second) as the ladder grows, seeding the BENCH trajectory for
+// the multi-run scheduler: ideal scaling keeps ns/op flat per replica-step
+// until the worker pool saturates the cores.
+func BenchmarkEnsembleStep(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			sys, ff, st := buildRelaxed(b, molgen.WaterBox(12, 11), 6.0, 20)
+			e, err := New(sys, ff, st, Config{
+				Temperatures:  GeometricLadder(300, 450, replicas),
+				Dt:            0.5,
+				ExchangeEvery: 50,
+				Seed:          1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := e.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*replicas)/b.Elapsed().Seconds(), "replica-steps/s")
+		})
+	}
+}

@@ -222,6 +222,11 @@ func (e *Engine) bonded(en *Energies) {
 	}
 }
 
+// Invalidate marks the cached forces stale after positions were modified
+// outside the engine (e.g. a replica-exchange configuration swap); the
+// next Step or Energies call recomputes them.
+func (e *Engine) Invalidate() { e.fresh = false }
+
 // Kinetic returns the kinetic energy in kcal/mol.
 func (e *Engine) Kinetic() float64 {
 	ke := 0.0

@@ -105,11 +105,26 @@ type Langevin struct {
 // Name implements Thermostat.
 func (l *Langevin) Name() string { return "langevin" }
 
-// Apply implements Thermostat.
-func (l *Langevin) Apply(sys *topology.System, st *topology.State, dt float64) {
+// StreamState returns the state of the noise stream for checkpointing,
+// initializing the stream from Seed if it has not produced noise yet.
+func (l *Langevin) StreamState() [4]uint64 {
+	l.ensureRNG()
+	return l.rng.State()
+}
+
+// RestoreStream resumes the noise stream from a state previously returned
+// by StreamState, so a restarted run draws the identical noise sequence.
+func (l *Langevin) RestoreStream(s [4]uint64) { l.rng = xrand.FromState(s) }
+
+func (l *Langevin) ensureRNG() {
 	if l.rng == nil {
 		l.rng = xrand.New(l.Seed)
 	}
+}
+
+// Apply implements Thermostat.
+func (l *Langevin) Apply(sys *topology.System, st *topology.State, dt float64) {
+	l.ensureRNG()
 	c1 := math.Exp(-l.Gamma * dt)
 	kT := units.Boltzmann * l.Target * units.ForceToAccel // in amu·Å²/fs²
 	for i := range st.Vel {

@@ -24,6 +24,7 @@ const (
 	CatIntegration          // patch integration
 	CatComm                 // message packing/allocation/send overhead
 	CatRecv                 // message receive overhead
+	CatExchange             // replica-exchange decision and configuration swap
 	numCategories  = iota
 )
 
@@ -40,6 +41,8 @@ func (c Category) String() string {
 		return "comm"
 	case CatRecv:
 		return "recv"
+	case CatExchange:
+		return "exchange"
 	default:
 		return "other"
 	}
@@ -302,7 +305,7 @@ type TimelineOptions struct {
 // Timeline renders an "Upshot-style" per-processor timeline (Figures 3-4):
 // one row per PE, one character per time slice, with the dominant
 // category's letter in busy slices (N nonbonded, B bonded, I integration,
-// C comm, R recv, o other) and '.' when idle.
+// C comm, R recv, X exchange, o other) and '.' when idle.
 func (l *Log) Timeline(opt TimelineOptions) string {
 	if opt.Width <= 0 {
 		opt.Width = 100
@@ -314,7 +317,7 @@ func (l *Log) Timeline(opt TimelineOptions) string {
 	slice := width / float64(opt.Width)
 	letters := map[Category]byte{
 		CatNonbonded: 'N', CatBonded: 'B', CatIntegration: 'I',
-		CatComm: 'C', CatRecv: 'R', CatOther: 'o',
+		CatComm: 'C', CatRecv: 'R', CatExchange: 'X', CatOther: 'o',
 	}
 	var b strings.Builder
 	for _, pe := range opt.PEs {

@@ -142,3 +142,30 @@ func TestShuffle(t *testing.T) {
 		t.Error("shuffle left 10 elements in original order (astronomically unlikely)")
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 57; i++ {
+		r.Uint64() // advance to an arbitrary point in the stream
+	}
+	saved := r.State()
+	resumed := FromState(saved)
+	for i := 0; i < 100; i++ {
+		want, got := r.Uint64(), resumed.Uint64()
+		if want != got {
+			t.Fatalf("draw %d after restore: %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestStateIsSnapshot(t *testing.T) {
+	r := New(7)
+	saved := r.State()
+	r.Uint64()
+	if r.State() == saved {
+		t.Error("state did not advance after a draw")
+	}
+	if FromState(saved).Uint64() != FromState(saved).Uint64() {
+		t.Error("same state must reproduce the same next draw")
+	}
+}
