@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race chaos bench ci
 
 all: vet build test
 
@@ -18,8 +18,15 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+race: vet
 	$(GO) test -race ./...
+
+# The chaos/conformance suite: fault injection, reliable delivery, and
+# checkpoint recovery, run twice (-count=2) to flush out any hidden
+# run-to-run nondeterminism in the seeded fault streams.
+chaos:
+	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden' \
+		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace .
 
 # One iteration per benchmark: a quick smoke that the benchmarks still run.
 bench:

@@ -1,0 +1,146 @@
+package gonamd_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gonamd"
+)
+
+// diffSystem builds a moderately sized water box once for the
+// differential tests.
+func diffSystem(t *testing.T) (*gonamd.System, *gonamd.State, *gonamd.ForceField) {
+	t.Helper()
+	sys, st, err := gonamd.BuildSystem(gonamd.WaterBoxSpec(16, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, st, gonamd.StandardForceField(7.0)
+}
+
+// TestDifferentialForcesAcrossEngines: every engine configuration —
+// sequential direct, sequential with a Verlet pairlist, and the
+// parallel engine at 1/2/4/8 workers — must agree on forces and
+// energies for the same configuration within floating-point reduction
+// tolerance.
+func TestDifferentialForcesAcrossEngines(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+
+	ref, err := gonamd.NewSequential(sys, ff, st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEn := ref.ComputeForces()
+	refF := ref.Forces()
+
+	check := func(name string, en gonamd.Energies, forces []gonamd.V3) {
+		t.Helper()
+		if math.Abs(en.Potential()-refEn.Potential()) > 1e-7*(1+math.Abs(refEn.Potential())) {
+			t.Errorf("%s: potential %v, sequential direct %v", name, en.Potential(), refEn.Potential())
+		}
+		for i, f := range forces {
+			d := f.Sub(refF[i]).Norm()
+			if d > 1e-7*(1+refF[i].Norm()) {
+				t.Fatalf("%s: force on atom %d off by %v (%v vs %v)", name, i, d, f, refF[i])
+			}
+		}
+	}
+
+	for _, skin := range []float64{1.0, 1.5} {
+		listed, err := gonamd.NewSequential(sys, ff, st.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		listed.EnablePairlist(skin)
+		check("seq+pairlist", listed.ComputeForces(), listed.Forces())
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := gonamd.NewParallel(sys, ff, st.Clone(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("parallel", par.ComputeForces(), par.Forces())
+	}
+}
+
+// TestDifferentialTrajectories: short dynamics must stay consistent
+// between the sequential engine (with and without pairlist) and the
+// parallel engine at several worker counts.
+func TestDifferentialTrajectories(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+	const steps, dt = 10, 0.5
+
+	// Engines advance the State they are built on in place, so keep a
+	// handle on each clone.
+	refSt := st.Clone()
+	ref, err := gonamd.NewSequential(sys, ff, refSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(steps, dt)
+	refPos := refSt.Pos
+
+	compare := func(name string, pos []gonamd.V3, tol float64) {
+		t.Helper()
+		worst := 0.0
+		for i := range pos {
+			if d := pos[i].Sub(refPos[i]).Norm(); d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s drifted %v Å from the sequential trajectory (tol %v)", name, worst, tol)
+		}
+	}
+
+	listedSt := st.Clone()
+	listed, err := gonamd.NewSequential(sys, ff, listedSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed.EnablePairlist(1.5)
+	listed.Run(steps, dt)
+	compare("seq+pairlist", listedSt.Pos, 1e-6)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		parSt := st.Clone()
+		par, err := gonamd.NewParallel(sys, ff, parSt, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			par.Step(dt)
+		}
+		compare("parallel", parSt.Pos, 1e-6)
+	}
+}
+
+// TestParallelBitwiseDeterminism: the parallel engine must be exactly
+// reproducible — two runs with the same worker count produce bitwise
+// identical positions and velocities, for every worker count.
+func TestParallelBitwiseDeterminism(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+	const steps, dt = 10, 0.5
+	for _, workers := range []int{1, 2, 4, 8} {
+		run := func() *gonamd.State {
+			parSt := st.Clone()
+			par, err := gonamd.NewParallel(sys, ff, parSt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < steps; i++ {
+				par.Step(dt)
+			}
+			return parSt
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a.Pos, b.Pos) {
+			t.Errorf("%d workers: positions not bitwise reproducible", workers)
+		}
+		if !reflect.DeepEqual(a.Vel, b.Vel) {
+			t.Errorf("%d workers: velocities not bitwise reproducible", workers)
+		}
+	}
+}

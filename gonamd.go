@@ -21,6 +21,7 @@
 package gonamd
 
 import (
+	"gonamd/internal/charm"
 	"gonamd/internal/ckpt"
 	"gonamd/internal/converse"
 	"gonamd/internal/core"
@@ -36,6 +37,7 @@ import (
 	"gonamd/internal/topology"
 	"gonamd/internal/trace"
 	"gonamd/internal/traj"
+	"gonamd/internal/vec"
 )
 
 // NetworkModel is the communication cost model of a simulated machine.
@@ -47,6 +49,8 @@ type (
 	System = topology.System
 	// State holds positions and velocities.
 	State = topology.State
+	// V3 is the 3-vector used for positions, velocities, and forces.
+	V3 = vec.V3
 	// ForceField is a CHARMM-style parameter set with evaluation kernels.
 	ForceField = forcefield.Params
 	// Energies is a decomposed energy report.
@@ -136,6 +140,37 @@ func BuildWorkload(name string, sys *System, st *State, grid *Grid, cutoff, list
 func NewClusterSim(w *Workload, cfg ClusterConfig) (*ClusterSim, error) {
 	return core.NewSim(w, cfg)
 }
+
+// Fault injection for cluster simulations.
+type (
+	// FaultPlan is a seeded, deterministic schedule of message faults
+	// (drop/delay/duplicate/reorder) and PE crash/restart events.
+	FaultPlan = converse.FaultPlan
+	// PECrash schedules one simulated-processor crash inside a FaultPlan.
+	PECrash = converse.Crash
+	// FaultStats counts the faults a simulated run actually suffered.
+	FaultStats = converse.FaultStats
+	// ReliableStats counts ack/retry protocol activity when
+	// ClusterConfig.Reliable is set.
+	ReliableStats = charm.ReliableStats
+)
+
+// WithFaultPlan returns cfg configured to run under the fault plan with
+// the machinery needed to survive it: reliable entry-method delivery
+// (acks, retransmission, duplicate suppression) and periodic coordinated
+// checkpoints to roll back to after a PE crash.
+func WithFaultPlan(cfg ClusterConfig, plan *FaultPlan) ClusterConfig {
+	cfg.Faults = plan
+	cfg.Reliable = true
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2
+	}
+	return cfg
+}
+
+// ErrInjectedFailure is returned by Ensemble.Run when
+// EnsembleConfig.FailAt is reached — the chaos harness's injected crash.
+var ErrInjectedFailure = ensemble.ErrInjectedFailure
 
 // Temperature control and constraints for NVT / long-timestep dynamics.
 type (

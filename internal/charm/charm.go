@@ -35,11 +35,23 @@ type envelope struct {
 type Runtime struct {
 	M *converse.Machine
 
+	// Rel counts reliable-delivery protocol activity (see EnableReliable).
+	Rel ReliableStats
+
 	dispatchH   converse.HandlerID
 	entries     []Entry
 	names       []string
 	objs        []objSlot
 	reduceEntry EntryID // lazily registered by NewReducer; -1 until then
+
+	// Reliable-delivery state (nil/zero unless EnableReliable was called).
+	reliable  bool
+	relCfg    ReliableConfig
+	relSeq    uint64
+	pending   map[uint64]*pendingSend
+	delivered map[uint64]struct{}
+	ackH      converse.HandlerID
+	retryH    converse.HandlerID
 }
 
 type objSlot struct {
@@ -115,6 +127,17 @@ func (rt *Runtime) Loads() []float64 {
 	return out
 }
 
+// SetLoads overwrites the measurement database — the inverse of Loads,
+// used by recovery layers rolling application state back to a snapshot.
+func (rt *Runtime) SetLoads(loads []float64) {
+	if len(loads) != len(rt.objs) {
+		panic(fmt.Sprintf("charm: SetLoads with %d loads for %d objects", len(loads), len(rt.objs)))
+	}
+	for i := range rt.objs {
+		rt.objs[i].load = loads[i]
+	}
+}
+
 // ResetLoads zeroes the measurement database.
 func (rt *Runtime) ResetLoads() {
 	for i := range rt.objs {
@@ -129,7 +152,16 @@ func (rt *Runtime) Inject(obj ObjID, e EntryID, payload any, size int, prio int6
 
 // dispatch is the converse handler that routes envelopes to objects.
 func (rt *Runtime) dispatch(cc *converse.Ctx, payload any, size int) {
-	env := payload.(envelope)
+	env, ok := payload.(envelope)
+	if !ok {
+		// Reliable send: ack it, and invoke the entry only on first
+		// delivery — retransmitted duplicates stop here.
+		re := payload.(relEnvelope)
+		if rt.recvReliable(cc, re) {
+			return
+		}
+		env = re.env
+	}
 	slot := &rt.objs[env.obj]
 	if int(slot.pe) != cc.PE() {
 		// A message arrived at a stale location. This cannot happen when
@@ -161,8 +193,13 @@ func (c *Ctx) Now() float64 { return c.C.Now() }
 func (c *Ctx) Charge(dt float64, cat trace.Category) { c.C.Charge(dt, cat) }
 
 // Send invokes an entry method on another object (or this one), routing
-// to the object's current processor.
+// to the object's current processor. With EnableReliable, the send is
+// tracked, retransmitted on timeout, and deduplicated at the receiver.
 func (c *Ctx) Send(obj ObjID, e EntryID, payload any, size int, prio int64) {
+	if c.RT.reliable {
+		c.RT.sendReliable(c.C, obj, e, payload, size, prio, false)
+		return
+	}
 	c.C.Send(c.RT.Location(obj), c.RT.dispatchH, envelope{obj: obj, entry: e, payload: payload}, size, prio)
 }
 
@@ -180,6 +217,10 @@ func (c *Ctx) Multicast(objs []ObjID, e EntryID, payload any, size int, prio int
 		c.C.Charge(net.SendOverhead+float64(size)*net.SendPerByte, trace.CatComm)
 		for _, obj := range objs {
 			c.C.Charge(net.MulticastPerDest, trace.CatComm)
+			if c.RT.reliable {
+				c.RT.sendReliable(c.C, obj, e, payload, size, prio, true)
+				continue
+			}
 			c.C.SendFree(c.RT.Location(obj), c.RT.dispatchH, envelope{obj: obj, entry: e, payload: payload}, size, prio)
 		}
 	} else {

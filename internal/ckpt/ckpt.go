@@ -31,12 +31,27 @@ import (
 	"gonamd/internal/vec"
 )
 
-// Version is the current checkpoint format version.
+// Version is the current ensemble checkpoint format version.
 const Version = 1
 
-var magic = [12]byte{'g', 'o', 'n', 'a', 'm', 'd', '-', 'c', 'k', 'p', 't', '\n'}
+// ensembleTag identifies the ensemble snapshot payload; other layers
+// wrap their own payloads in the same envelope under their own tags
+// (e.g. internal/core's cluster-sim snapshots use "simc").
+const ensembleTag = "ckpt"
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// tagMagic derives the 12-byte file magic from a 4-character format tag.
+func tagMagic(tag string) [12]byte {
+	if len(tag) != 4 {
+		panic(fmt.Sprintf("ckpt: format tag %q must be 4 characters", tag))
+	}
+	var m [12]byte
+	copy(m[:], "gonamd-")
+	copy(m[7:], tag)
+	m[11] = '\n'
+	return m
+}
 
 // Sentinel errors, wrapped with context by Load.
 var (
@@ -97,18 +112,21 @@ func (s *EnsembleState) Validate() error {
 	return nil
 }
 
-// Save writes a checkpoint.
-func Save(w io.Writer, st *EnsembleState) error {
-	if err := st.Validate(); err != nil {
-		return err
-	}
+// EnvelopeSave gob-encodes v and writes it wrapped in the checkpoint
+// envelope: the magic derived from the 4-character format tag, the
+// format version, the payload length, and a CRC-64 of the payload. It
+// is the generic half of Save, reused by other subsystems (the cluster
+// simulation's recovery snapshots) so every persisted state in the
+// system gets the same integrity checking.
+func EnvelopeSave(w io.Writer, tag string, version uint32, v any) error {
+	magic := tagMagic(tag)
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 		return fmt.Errorf("ckpt: encoding: %w", err)
 	}
 	var hdr [32]byte
 	copy(hdr[:12], magic[:])
-	binary.LittleEndian.PutUint32(hdr[12:16], Version)
+	binary.LittleEndian.PutUint32(hdr[12:16], version)
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(payload.Len()))
 	binary.LittleEndian.PutUint64(hdr[24:32], crc64.Checksum(payload.Bytes(), crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -120,33 +138,53 @@ func Save(w io.Writer, st *EnsembleState) error {
 	return nil
 }
 
-// Load reads and validates a checkpoint written by Save.
-func Load(r io.Reader) (*EnsembleState, error) {
+// EnvelopeLoad reads an envelope written by EnvelopeSave with the same
+// tag and version, decoding the payload into v. Wrong magic, unknown
+// versions, truncation, and checksum mismatches are rejected with the
+// package's sentinel errors.
+func EnvelopeLoad(r io.Reader, tag string, version uint32, v any) error {
+	magic := tagMagic(tag)
 	var hdr [32]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		return fmt.Errorf("%w: header: %v", ErrTruncated, err)
 	}
 	if !bytes.Equal(hdr[:12], magic[:]) {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(hdr[12:16]); v != Version {
-		return nil, fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v, Version)
+	if v2 := binary.LittleEndian.Uint32(hdr[12:16]); v2 != version {
+		return fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v2, version)
 	}
 	length := binary.LittleEndian.Uint64(hdr[16:24])
-	const maxPayload = 1 << 34 // 16 GiB: far above any real ensemble
+	const maxPayload = 1 << 34 // 16 GiB: far above any real snapshot
 	if length > maxPayload {
-		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+		return fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		return fmt.Errorf("%w: payload: %v", ErrTruncated, err)
 	}
 	if sum := crc64.Checksum(payload, crcTable); sum != binary.LittleEndian.Uint64(hdr[24:32]) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Save writes an ensemble checkpoint.
+func Save(w io.Writer, st *EnsembleState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	return EnvelopeSave(w, ensembleTag, Version, st)
+}
+
+// Load reads and validates a checkpoint written by Save.
+func Load(r io.Reader) (*EnsembleState, error) {
 	st := &EnsembleState{}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
-		return nil, fmt.Errorf("%w: decoding: %v", ErrCorrupt, err)
+	if err := EnvelopeLoad(r, ensembleTag, Version, st); err != nil {
+		return nil, err
 	}
 	if err := st.Validate(); err != nil {
 		return nil, err
@@ -154,17 +192,17 @@ func Load(r io.Reader) (*EnsembleState, error) {
 	return st, nil
 }
 
-// SaveFile writes a checkpoint atomically: to a temporary file in the
+// AtomicWriteFile streams write's output to a temporary file in the
 // destination directory, synced, then renamed over path, so a crash
-// mid-write never destroys the previous good checkpoint.
-func SaveFile(path string, st *EnsembleState) error {
+// mid-write never destroys the previous good file.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := Save(tmp, st); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -179,6 +217,11 @@ func SaveFile(path string, st *EnsembleState) error {
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	return nil
+}
+
+// SaveFile writes an ensemble checkpoint atomically via AtomicWriteFile.
+func SaveFile(path string, st *EnsembleState) error {
+	return AtomicWriteFile(path, func(w io.Writer) error { return Save(w, st) })
 }
 
 // LoadFile reads a checkpoint from a file.

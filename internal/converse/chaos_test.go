@@ -1,0 +1,331 @@
+package converse
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gonamd/internal/trace"
+)
+
+// chaosProgram is a small messaging-heavy workload: PE 0 fires n ticks
+// 30µs apart, each sending one numbered message to PE 1, whose handler
+// records the payloads it executes. Returns the machine (run to
+// quiescence) and the received payload order.
+func chaosProgram(t *testing.T, n int, plan *FaultPlan) (*Machine, []int) {
+	t.Helper()
+	m := NewMachine(2, testNet)
+	m.SetFaultPlan(plan)
+	var got []int
+	recv := m.RegisterHandler("recv", func(ctx *Ctx, payload any, size int) {
+		got = append(got, payload.(int))
+		ctx.Charge(1e-6, trace.CatOther)
+	})
+	var tick HandlerID
+	tick = m.RegisterHandler("tick", func(ctx *Ctx, payload any, size int) {
+		i := payload.(int)
+		ctx.Send(1, recv, i, 100, 0)
+		if i+1 < n {
+			ctx.After(30e-6, tick, i+1, 0, 0)
+		}
+	})
+	m.Inject(0, tick, 0, 0, 0)
+	m.Run()
+	return m, got
+}
+
+// TestChaosTableDriven exercises the canonical fault plans end to end.
+func TestChaosTableDriven(t *testing.T) {
+	const n = 40
+	cases := []struct {
+		name  string
+		plan  *FaultPlan
+		check func(t *testing.T, m *Machine, got []int)
+	}{
+		{
+			name: "drop-storm",
+			plan: &FaultPlan{Seed: 7, DropProb: 0.5},
+			check: func(t *testing.T, m *Machine, got []int) {
+				if m.Stats.Dropped == 0 {
+					t.Fatal("drop storm dropped nothing")
+				}
+				if len(got)+m.Stats.Dropped != n {
+					t.Errorf("received %d + dropped %d != sent %d", len(got), m.Stats.Dropped, n)
+				}
+			},
+		},
+		{
+			name: "duplicate-burst",
+			plan: &FaultPlan{Seed: 7, DupProb: 1},
+			check: func(t *testing.T, m *Machine, got []int) {
+				if m.Stats.Duplicated != n {
+					t.Errorf("Duplicated = %d, want %d", m.Stats.Duplicated, n)
+				}
+				if len(got) != 2*n {
+					t.Errorf("received %d messages, want %d (each delivered twice)", len(got), 2*n)
+				}
+			},
+		},
+		{
+			name: "delay",
+			plan: &FaultPlan{Seed: 7, DelayProb: 1, DelayMax: 50e-6},
+			check: func(t *testing.T, m *Machine, got []int) {
+				if m.Stats.Delayed != n {
+					t.Errorf("Delayed = %d, want %d", m.Stats.Delayed, n)
+				}
+				if len(got) != n {
+					t.Errorf("received %d messages, want all %d", len(got), n)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, got := chaosProgram(t, n, tc.plan)
+			tc.check(t, m, got)
+		})
+	}
+}
+
+// TestChaosReorder: reordering swaps arrival times within an execution's
+// outbox, so a burst sent in one execution arrives permuted but intact.
+func TestChaosReorder(t *testing.T) {
+	const n = 10
+	m := NewMachine(2, testNet)
+	m.SetFaultPlan(&FaultPlan{Seed: 7, ReorderProb: 1})
+	var got []int
+	recv := m.RegisterHandler("recv", func(ctx *Ctx, payload any, size int) {
+		got = append(got, payload.(int))
+	})
+	burst := m.RegisterHandler("burst", func(ctx *Ctx, payload any, size int) {
+		for i := 0; i < n; i++ {
+			ctx.Send(1, recv, i, 100, 0)
+		}
+	})
+	m.Inject(0, burst, nil, 0, 0)
+	m.Run()
+	if m.Stats.Reordered == 0 {
+		t.Fatal("reorder plan reordered nothing")
+	}
+	if len(got) != n {
+		t.Fatalf("received %d messages, want all %d", len(got), n)
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Errorf("burst delivered in send order %v despite ReorderProb 1", got)
+	}
+}
+
+// TestChaosDeterminism: the same program under the same plan yields the
+// same deliveries, the same stats, and the same final virtual time.
+func TestChaosDeterminism(t *testing.T) {
+	plan := func() *FaultPlan {
+		return &FaultPlan{Seed: 99, DropProb: 0.3, DelayProb: 0.3, DelayMax: 40e-6, DupProb: 0.2, ReorderProb: 0.2}
+	}
+	m1, got1 := chaosProgram(t, 60, plan())
+	m2, got2 := chaosProgram(t, 60, plan())
+	if !reflect.DeepEqual(got1, got2) {
+		t.Errorf("deliveries differ between identical runs:\n%v\n%v", got1, got2)
+	}
+	if m1.Stats != m2.Stats {
+		t.Errorf("fault stats differ: %+v vs %+v", m1.Stats, m2.Stats)
+	}
+	if m1.Now() != m2.Now() {
+		t.Errorf("final times differ: %v vs %v", m1.Now(), m2.Now())
+	}
+	// A different seed must change the schedule (or the plan is not
+	// actually random).
+	p3 := plan()
+	p3.Seed = 100
+	m3, _ := chaosProgram(t, 60, p3)
+	if m1.Stats == m3.Stats {
+		t.Errorf("seeds 99 and 100 produced identical stats %+v", m1.Stats)
+	}
+}
+
+// TestCrashMidStep crashes PE 1 while traffic flows: queued and
+// in-flight messages are lost, the PE restarts empty, and later traffic
+// is delivered again.
+func TestCrashMidStep(t *testing.T) {
+	const n = 20 // ticks at 0, 30, 60, ... 570µs
+	var crashedAt, restartedAt float64
+	plan := &FaultPlan{
+		Crashes: []Crash{{PE: 1, At: 100e-6, Down: 200e-6}},
+	}
+	m := NewMachine(2, testNet)
+	m.SetFaultPlan(plan)
+	m.OnCrash = func(pe int, now float64) { crashedAt = now }
+	m.OnRestart = func(pe int, now float64) { restartedAt = now }
+	var got []int
+	recv := m.RegisterHandler("recv", func(ctx *Ctx, payload any, size int) {
+		got = append(got, payload.(int))
+		ctx.Charge(1e-6, trace.CatOther)
+	})
+	var tick HandlerID
+	tick = m.RegisterHandler("tick", func(ctx *Ctx, payload any, size int) {
+		i := payload.(int)
+		ctx.Send(1, recv, i, 100, 0)
+		if i+1 < n {
+			ctx.After(30e-6, tick, i+1, 0, 0)
+		}
+	})
+	m.Inject(0, tick, 0, 0, 0)
+	m.Run()
+
+	if m.Stats.Crashes != 1 || m.Stats.Restarts != 1 {
+		t.Fatalf("Crashes=%d Restarts=%d, want 1/1", m.Stats.Crashes, m.Stats.Restarts)
+	}
+	if crashedAt < 100e-6 {
+		t.Errorf("OnCrash at %v, want >= 100µs", crashedAt)
+	}
+	if restartedAt < crashedAt+200e-6 {
+		t.Errorf("OnRestart at %v, want >= crash %v + 200µs downtime", restartedAt, crashedAt)
+	}
+	if m.Down(1) {
+		t.Error("PE 1 still down after Run drained")
+	}
+	if m.Stats.Lost == 0 {
+		t.Fatal("no messages lost to the crash")
+	}
+	if len(got)+m.Stats.Lost != n {
+		t.Errorf("received %d + lost %d != sent %d", len(got), m.Stats.Lost, n)
+	}
+	// Deliveries before the crash and after the restart, none in between.
+	for _, i := range got {
+		arrivedAround := float64(i) * 30e-6
+		if arrivedAround > crashedAt && arrivedAround < restartedAt-35e-6 {
+			t.Errorf("message %d (sent ~%vs) delivered while PE 1 was down [%v, %v]",
+				i, arrivedAround, crashedAt, restartedAt)
+		}
+	}
+	if got[len(got)-1] != n-1 {
+		t.Errorf("last delivery %d, want %d (traffic resumes after restart)", got[len(got)-1], n-1)
+	}
+}
+
+// TestCrashInvalidatesInProgressCompletion: a crash during a long
+// execution must not let the stale completion event reactivate the PE's
+// old queue state.
+func TestCrashInvalidatesInProgressCompletion(t *testing.T) {
+	m := NewMachine(2, testNet)
+	m.SetFaultPlan(&FaultPlan{Crashes: []Crash{{PE: 1, At: 50e-6, Down: 10e-6}}})
+	var ran []string
+	blocker := m.RegisterHandler("blocker", func(ctx *Ctx, payload any, size int) {
+		ran = append(ran, "blocker")
+		ctx.Charge(100e-6, trace.CatOther)
+	})
+	queued := m.RegisterHandler("queued", func(ctx *Ctx, payload any, size int) {
+		ran = append(ran, "queued")
+	})
+	m.Inject(1, blocker, nil, 0, 0)
+	m.Inject(1, queued, nil, 0, 5) // waits behind the blocker, dies with the crash
+	m.Run()
+	if !reflect.DeepEqual(ran, []string{"blocker"}) {
+		t.Errorf("ran %v, want only the blocker (queued message was wiped by the crash)", ran)
+	}
+	if m.Stats.Lost != 1 {
+		t.Errorf("Lost = %d, want 1", m.Stats.Lost)
+	}
+}
+
+// TestAfterTimer: Ctx.After fires locally at completion + delay, charges
+// nothing, and is exempt from message faults.
+func TestAfterTimer(t *testing.T) {
+	m := NewMachine(1, testNet)
+	// DropProb 1 would kill every remote message; timers must survive.
+	m.SetFaultPlan(&FaultPlan{Seed: 1, DropProb: 1})
+	var firedAt float64
+	fire := m.RegisterHandler("fire", func(ctx *Ctx, payload any, size int) {
+		firedAt = ctx.start
+	})
+	arm := m.RegisterHandler("arm", func(ctx *Ctx, payload any, size int) {
+		ctx.Charge(5e-6, trace.CatOther)
+		ctx.After(70e-6, fire, nil, 0, 0)
+	})
+	m.Inject(0, arm, nil, 0, 0)
+	m.Run()
+	// arm: recv 1µs + work 5µs completes at 6µs; the timer fires exactly
+	// 70µs later with no wire or fault exposure.
+	want := 76e-6
+	if math.Abs(firedAt-want) > 1e-12 {
+		t.Errorf("timer fired at %v, want %v", firedAt, want)
+	}
+	if m.Stats.Dropped != 0 {
+		t.Errorf("fault plan dropped %d local timers", m.Stats.Dropped)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	m2 := NewMachine(1, testNet)
+	var h HandlerID
+	h = m2.RegisterHandler("h", func(ctx *Ctx, payload any, size int) {
+		ctx.After(-1, h, nil, 0, 0)
+	})
+	m2.Inject(0, h, nil, 0, 0)
+	m2.Run()
+}
+
+// TestFaultTraceRecords: injected faults appear in the trace under the
+// fault/recovery categories.
+func TestFaultTraceRecords(t *testing.T) {
+	plan := &FaultPlan{Seed: 3, DropProb: 1, Crashes: []Crash{{PE: 1, At: 40e-6, Down: 10e-6}}}
+	m := NewMachine(2, testNet)
+	m.Trace = trace.NewLog()
+	m.SetFaultPlan(plan)
+	recv := m.RegisterHandler("recv", func(ctx *Ctx, payload any, size int) {})
+	var tick HandlerID
+	tick = m.RegisterHandler("tick", func(ctx *Ctx, payload any, size int) {
+		i := payload.(int)
+		ctx.Send(1, recv, i, 100, 0)
+		if i < 3 {
+			ctx.After(30e-6, tick, i+1, 0, 0)
+		}
+	})
+	m.Inject(0, tick, 0, 0, 0)
+	m.Run()
+	count := map[string]int{}
+	for _, r := range m.Trace.Records {
+		count[r.Entry]++
+	}
+	if count["fault.drop"] != m.Stats.Dropped || m.Stats.Dropped == 0 {
+		t.Errorf("fault.drop records = %d, stats %d", count["fault.drop"], m.Stats.Dropped)
+	}
+	if count["fault.crash"] != 1 || count["fault.restart"] != 1 {
+		t.Errorf("crash/restart records = %d/%d, want 1/1", count["fault.crash"], count["fault.restart"])
+	}
+}
+
+// TestSetFaultPlanValidation: bad plans are rejected loudly.
+func TestSetFaultPlanValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("crash PE out of range", func() {
+		NewMachine(2, testNet).SetFaultPlan(&FaultPlan{Crashes: []Crash{{PE: 2, At: 1}}})
+	})
+	expectPanic("negative downtime", func() {
+		NewMachine(2, testNet).SetFaultPlan(&FaultPlan{Crashes: []Crash{{PE: 0, At: 1, Down: -1}}})
+	})
+	expectPanic("double install", func() {
+		m := NewMachine(2, testNet)
+		m.SetFaultPlan(&FaultPlan{})
+		m.SetFaultPlan(&FaultPlan{})
+	})
+	// nil plan is a no-op, not an error.
+	m := NewMachine(2, testNet)
+	m.SetFaultPlan(nil)
+	m.SetFaultPlan(&FaultPlan{})
+}

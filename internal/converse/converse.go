@@ -56,15 +56,24 @@ type msg struct {
 	size    int
 	prio    int64
 	seq     uint64
-	local   bool // sent from the same PE (cheaper receive)
+	local   bool    // sent from the same PE (cheaper receive)
+	delay   float64 // extra arrival delay (timers via Ctx.After)
 }
+
+// Event kinds, in tie-break order at equal times.
+const (
+	kindDone    uint8 = iota // execution completion
+	kindArrive               // message arrival
+	kindRestart              // crashed PE comes back up
+)
 
 type event struct {
 	time float64
-	kind uint8 // 0 = execution completion, 1 = message arrival
+	kind uint8
 	seq  uint64
 	pe   int32
-	m    msg // arrival only
+	inc  uint32 // PE incarnation that scheduled a kindDone event
+	m    msg    // arrival only
 }
 
 type eventHeap []event
@@ -102,6 +111,11 @@ type PE struct {
 	ready readyHeap
 	busy  bool
 
+	// Crash state: a down PE discards arrivals; incarnation invalidates
+	// completion events scheduled before a crash.
+	down        bool
+	incarnation uint32
+
 	// Statistics.
 	BusyTime float64
 	MsgsRecv int
@@ -112,6 +126,15 @@ type Machine struct {
 	Net   NetworkModel
 	Trace *trace.Log // nil or disabled = no tracing
 
+	// OnCrash and OnRestart, when set, are called as scheduled PE
+	// failures fire (see SetFaultPlan) — the hook recovery layers use to
+	// detect failures.
+	OnCrash   func(pe int, now float64)
+	OnRestart func(pe int, now float64)
+
+	// Stats counts injected and suffered faults.
+	Stats FaultStats
+
 	handlers     []Handler
 	handlerNames []string
 	pes          []*PE
@@ -119,6 +142,10 @@ type Machine struct {
 	seq          uint64
 	now          float64
 	stopped      bool
+
+	fault    *FaultPlan
+	crashes  []Crash // sorted by At
+	crashIdx int
 
 	// Aggregate statistics.
 	TotalMsgs  int
@@ -161,7 +188,7 @@ func (m *Machine) Inject(pe int, h HandlerID, payload any, size int, prio int64)
 	m.validate(pe, h)
 	m.seq++
 	heap.Push(&m.events, event{
-		time: m.now, kind: 1, seq: m.seq, pe: int32(pe),
+		time: m.now, kind: kindArrive, seq: m.seq, pe: int32(pe),
 		m: msg{to: int32(pe), handler: h, payload: payload, size: size, prio: prio, seq: m.seq},
 	})
 }
@@ -179,6 +206,12 @@ func (m *Machine) validate(pe int, h HandlerID) {
 // returns the final virtual time.
 func (m *Machine) Run() float64 {
 	for !m.stopped && len(m.events) > 0 {
+		// Scheduled crashes fire just before the first event at or after
+		// their time, so they interleave deterministically with the
+		// event schedule.
+		if m.checkCrash(m.events[0].time) {
+			continue
+		}
 		ev := heap.Pop(&m.events).(event)
 		if ev.time < m.now {
 			panic("converse: time went backwards")
@@ -186,16 +219,25 @@ func (m *Machine) Run() float64 {
 		m.now = ev.time
 		pe := m.pes[ev.pe]
 		switch ev.kind {
-		case 0: // execution completed
+		case kindDone:
+			if ev.inc != pe.incarnation {
+				continue // execution was wiped out by a crash
+			}
 			pe.busy = false
 			if pe.ready.Len() > 0 {
 				m.startExec(pe)
 			}
-		case 1: // message arrival
+		case kindArrive:
+			if pe.down {
+				m.Stats.Lost++
+				continue
+			}
 			heap.Push(&pe.ready, ev.m)
 			if !pe.busy {
 				m.startExec(pe)
 			}
+		case kindRestart:
+			m.restart(pe)
 		}
 	}
 	return m.now
@@ -223,7 +265,7 @@ func (m *Machine) startExec(pe *PE) {
 	end := m.now + ctx.dur
 	pe.BusyTime += ctx.dur
 	m.seq++
-	heap.Push(&m.events, event{time: end, kind: 0, seq: m.seq, pe: pe.id})
+	heap.Push(&m.events, event{time: end, kind: kindDone, seq: m.seq, pe: pe.id, inc: pe.incarnation})
 
 	if m.Trace.Enabled() {
 		m.Trace.Add(trace.ExecRecord{
@@ -237,17 +279,53 @@ func (m *Machine) startExec(pe *PE) {
 	}
 
 	// Dispatch messages sent during this execution: they leave the PE at
-	// completion time and arrive after latency + transmission.
-	for _, out := range ctx.outbox {
-		arrive := end
-		if out.to != pe.id {
-			arrive += m.Net.Latency + float64(out.size)*m.Net.PerByte
+	// completion time and arrive after latency + transmission (plus any
+	// Ctx.After delay), with the fault plan's drop/delay/dup/reorder
+	// verdicts applied to remote messages.
+	var arrive, dupJitter []float64
+	var drop []bool
+	if n := len(ctx.outbox); n > 0 {
+		arrive = make([]float64, n)
+		for i, out := range ctx.outbox {
+			arrive[i] = end + out.delay
+			if out.to != pe.id {
+				arrive[i] += m.Net.Latency + float64(out.size)*m.Net.PerByte
+			}
+		}
+		if m.fault != nil {
+			drop = make([]bool, n)
+			dupJitter = make([]float64, n)
+			for i := range dupJitter {
+				dupJitter[i] = -1
+			}
+			m.messageFaults(pe, ctx.outbox, arrive, drop, dupJitter)
+		}
+	}
+	for i, out := range ctx.outbox {
+		m.TotalMsgs++
+		m.TotalBytes += out.size
+		if drop != nil && drop[i] {
+			continue
 		}
 		m.seq++
 		out.seq = m.seq
-		heap.Push(&m.events, event{time: arrive, kind: 1, seq: m.seq, pe: out.to, m: out})
-		m.TotalMsgs++
-		m.TotalBytes += out.size
+		heap.Push(&m.events, event{time: arrive[i], kind: kindArrive, seq: m.seq, pe: out.to, m: out})
+		if dupJitter != nil && dupJitter[i] >= 0 {
+			m.seq++
+			d := out
+			d.seq = m.seq
+			heap.Push(&m.events, event{time: arrive[i] + dupJitter[i], kind: kindArrive, seq: m.seq, pe: out.to, m: d})
+		}
+	}
+}
+
+// RestorePEStats overwrites the per-PE busy times and message counts —
+// the inverse of PEStats, used when a recovery layer rolls the
+// simulation's statistics back to a checkpoint.
+func (m *Machine) RestorePEStats(busy []float64, msgs []int) {
+	for i, pe := range m.pes {
+		pe.BusyTime = busy[i]
+		pe.MsgsRecv = msgs[i]
 	}
 }
 
@@ -325,6 +403,20 @@ func (c *Ctx) Send(to int, h HandlerID, payload any, size int, prio int64) {
 		c.charge(c.m.Net.SendOverhead+float64(size)*c.m.Net.SendPerByte, trace.CatComm)
 	}
 	c.outbox = append(c.outbox, msg{to: int32(to), handler: h, payload: payload, size: size, prio: prio, local: local})
+}
+
+// After schedules a handler invocation on this PE delay seconds after
+// the current execution completes, charging no CPU cost — the timer
+// primitive reliability protocols build retransmission timeouts on.
+// Timers never cross the wire, so the fault plan cannot drop them; a
+// timer whose PE is down when it fires is lost with the rest of the
+// PE's state.
+func (c *Ctx) After(delay float64, h HandlerID, payload any, size int, prio int64) {
+	if delay < 0 {
+		panic("converse: negative timer delay")
+	}
+	c.m.validate(int(c.pe.id), h)
+	c.outbox = append(c.outbox, msg{to: c.pe.id, handler: h, payload: payload, size: size, prio: prio, local: true, delay: delay})
 }
 
 // SendFree queues a message without charging any CPU cost. Higher layers

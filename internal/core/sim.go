@@ -56,6 +56,27 @@ type Config struct {
 	RefineOverload float64
 
 	CollectTrace bool
+
+	// Faults installs a deterministic fault plan on the simulated
+	// machine: message drops/delays/duplicates/reorders and scheduled PE
+	// crash/restart events.
+	Faults *converse.FaultPlan
+
+	// Reliable enables the charm layer's ack/timeout/retry protocol, so
+	// entry-method sends survive message drops (exactly-once delivery
+	// via sequence-number dedup). ReliableTimeout is the initial
+	// retransmission timeout in virtual seconds (0 picks two ideal step
+	// times, comfortably above healthy queueing delays).
+	Reliable        bool
+	ReliableTimeout float64
+
+	// CheckpointEvery takes a coordinated snapshot of application state
+	// every so many steps (0 = only at epoch starts); after a PE crash
+	// the sim rolls back to the last snapshot and re-executes.
+	// CheckpointPath additionally persists each snapshot atomically in
+	// the internal/ckpt envelope format.
+	CheckpointEvery int
+	CheckpointPath  string
 }
 
 func (c *Config) fillDefaults() {
@@ -92,6 +113,12 @@ type Result struct {
 	// audits and timelines); Trace is non-nil when CollectTrace was set.
 	MeasureT0, MeasureT1 float64
 	Trace                *trace.Log
+
+	// Failure handling: faults injected and suffered, reliable-delivery
+	// protocol activity, and checkpoint rollbacks performed.
+	FaultStats converse.FaultStats
+	Reliable   charm.ReliableStats
+	Recoveries int
 }
 
 // proxyForceMsg marks a combined force message from a proxy (as opposed
@@ -173,6 +200,13 @@ type Sim struct {
 	busyBase   []float64
 
 	lbStats []ldb.Stats
+
+	// Recovery state: the last coordinated snapshot (ckpt-envelope
+	// bytes), the step it was taken at, and whether a crash fired since.
+	snapBytes  []byte
+	snapStep   int
+	crashed    bool
+	recoveries int
 }
 
 // NewSim builds the decomposition for a workload under a configuration.
@@ -194,7 +228,24 @@ func NewSim(w *Workload, cfg Config) (*Sim, error) {
 	if cfg.CollectTrace {
 		s.m.Trace = trace.NewLog()
 	}
+	if cfg.Faults != nil {
+		s.m.SetFaultPlan(cfg.Faults)
+		s.m.OnCrash = func(pe int, now float64) { s.crashed = true }
+	}
 	s.rt = charm.NewRuntime(s.m)
+	if cfg.Reliable {
+		timeout := cfg.ReliableTimeout
+		if timeout <= 0 {
+			// A message can queue behind most of a step's work, so the
+			// retransmission timeout must be on the step-time scale
+			// (~SeqTime/PEs), not the network's: two ideal steps.
+			timeout = 2 * cfg.Model.SeqTime(w.Counts()) / float64(cfg.PEs)
+			if timeout <= 0 {
+				timeout = 4 * cfg.TargetGrain
+			}
+		}
+		s.rt.EnableReliable(charm.ReliableConfig{Timeout: timeout})
+	}
 	s.registerEntries()
 	s.placePatches()
 	s.createComputes()
@@ -512,18 +563,40 @@ func (s *Sim) resume() {
 }
 
 // runEpoch runs the machine until every patch has completed `until`
-// steps.
+// steps, snapshotting at the epoch start (object placements just
+// changed, so earlier snapshots are stale) and every CheckpointEvery
+// steps. A PE crash stalls the step protocol; once the machine drains
+// (crashed PEs have restarted by then), the epoch rolls back to the
+// last snapshot and re-executes.
 func (s *Sim) runEpoch(until int) {
-	s.pauseAt = until
-	s.resume()
-	s.m.Run()
-	for _, ps := range s.patches {
-		want := until
-		if want > s.totalSteps {
-			want = s.totalSteps
+	if until > s.totalSteps {
+		until = s.totalSteps
+	}
+	cur := s.patches[0].step
+	s.takeSnapshot(cur)
+	for cur < until {
+		next := until
+		if ce := s.cfg.CheckpointEvery; ce > 0 {
+			if nc := (cur/ce + 1) * ce; nc < next {
+				next = nc
+			}
 		}
-		if ps.step != want {
-			panic(fmt.Sprintf("core: patch %d stopped at step %d, want %d", ps.id, ps.step, want))
+		s.pauseAt = next
+		s.resume()
+		s.m.Run()
+		if s.crashed {
+			s.recover()
+			cur = s.snapStep
+			continue
+		}
+		for _, ps := range s.patches {
+			if ps.step != next {
+				panic(fmt.Sprintf("core: patch %d stopped at step %d, want %d", ps.id, ps.step, next))
+			}
+		}
+		cur = next
+		if cur < until {
+			s.takeSnapshot(cur)
 		}
 	}
 }
@@ -622,6 +695,9 @@ func (s *Sim) Run() *Result {
 		TotalBytes:  s.m.TotalBytes,
 		LBStats:     s.lbStats,
 		Trace:       s.m.Trace,
+		FaultStats:  s.m.Stats,
+		Reliable:    s.rt.Rel,
+		Recoveries:  s.recoveries,
 	}
 	// Measured steps: the last MeasureSteps durations (the first step
 	// after the final pause is excluded via the extra +1 step above).

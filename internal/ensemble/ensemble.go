@@ -19,6 +19,7 @@
 package ensemble
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -77,6 +78,14 @@ type Config struct {
 	// checkpoint every so many MD steps (0 disables periodic checkpoints).
 	CheckpointEvery int
 	CheckpointPath  string
+
+	// FailAt, when positive, injects a failure: Run returns
+	// ErrInjectedFailure the moment the global step counter reaches
+	// FailAt, before any exchange or checkpoint scheduled at that step —
+	// modeling a crash that loses everything since the last checkpoint.
+	// A run resumed from that checkpoint should clear FailAt (or it
+	// fails again at the same step).
+	FailAt int64
 
 	// Trace, when non-nil and enabled, receives per-replica step-timing
 	// records (entry "replica.advance", PE = replica index) and exchange
@@ -261,6 +270,10 @@ func (e *Ensemble) AcceptanceRates() []float64 {
 
 func (e *Ensemble) now() float64 { return time.Since(e.epoch).Seconds() }
 
+// ErrInjectedFailure is returned by Run when the configured FailAt step
+// is reached — the chaos harness's stand-in for a mid-run crash.
+var ErrInjectedFailure = errors.New("ensemble: injected failure")
+
 // Run advances every replica by steps MD steps, attempting exchanges and
 // writing periodic checkpoints on their configured cadences. The global
 // step counter persists across calls (and across Resume), so the
@@ -280,8 +293,14 @@ func (e *Ensemble) Run(steps int) error {
 				next = nc
 			}
 		}
+		if fa := e.cfg.FailAt; fa > e.step && fa < next {
+			next = fa
+		}
 		e.advance(int(next - e.step))
 		e.step = next
+		if fa := e.cfg.FailAt; fa > 0 && e.step == fa {
+			return ErrInjectedFailure
+		}
 		if ee := int64(e.cfg.ExchangeEvery); ee > 0 && e.step%ee == 0 {
 			e.exchange()
 		}
@@ -455,6 +474,13 @@ func (e *Ensemble) Restore(st *ckpt.EnsembleState) error {
 	e.exch = xrand.FromState(st.ExchangeRNG)
 	copy(e.attempts, st.Attempts)
 	copy(e.accepts, st.Accepts)
+	if e.cfg.Trace.Enabled() {
+		now := e.now()
+		e.cfg.Trace.Add(trace.ExecRecord{
+			PE: 0, Obj: -1, Entry: "ensemble.recover", Start: now, End: now,
+			Spans: []trace.Span{{Cat: trace.CatRecovery, Dur: 0}},
+		})
+	}
 	return nil
 }
 
