@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos bench ci
+.PHONY: all vet build test race chaos bench bench-all ci
 
 all: vet build test
 
@@ -23,13 +23,26 @@ race: vet
 
 # The chaos/conformance suite: fault injection, reliable delivery, and
 # checkpoint recovery, run twice (-count=2) to flush out any hidden
-# run-to-run nondeterminism in the seeded fault streams.
+# run-to-run nondeterminism in the seeded fault streams. The forcefield
+# and par packages carry the kernel/block-list differential tests.
 chaos:
 	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden' \
-		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace .
+		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
+		./internal/forcefield ./internal/par .
 
-# One iteration per benchmark: a quick smoke that the benchmarks still run.
+# The tracked performance suite: kernel benchmarks (ns/pair) and step
+# benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system, parsed
+# into BENCH_3.json (see README, "Benchmark records"). The step
+# benchmarks share a one-time ~92k-atom build + minimize, so the run
+# takes a few minutes.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
+	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_3.json
+
+# One iteration per benchmark: a quick smoke that every benchmark in the
+# tree still runs.
+bench-all:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=30m ./...
 
 ci: vet build race

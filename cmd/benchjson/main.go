@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON record for tracking performance over time. It reads benchmark
+// output on stdin, echoes it through unchanged (so it can sit at the end
+// of a pipe without hiding the run), and writes the parsed results to the
+// file given with -o.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Step -benchmem ./... | benchjson -o BENCH.json
+//
+// Every metric a benchmark reports lands in the "metrics" map keyed by
+// its unit — the standard ns/op, B/op, and allocs/op as well as custom
+// b.ReportMetric units such as steps/sec or ns/pair.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one result line: name (with optional -procs suffix),
+// iteration count, then tab-separated "value unit" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(\S.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("benchjson: -o output file is required")
+	}
+
+	rep := report{Schema: "gonamd-bench/1"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchmark{Name: m[1], Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: reading stdin: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark results found on stdin")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gonamd"
@@ -38,6 +40,9 @@ func main() {
 	trajPath := flag.String("traj", "", "write a binary trajectory to this file")
 	trajEvery := flag.Int("trajevery", 10, "write a trajectory frame every N steps")
 	shake := flag.Bool("shake", false, "constrain bonds to hydrogen (sequential engine; allows -dt 2)")
+	skin := flag.Float64("skin", 0, "Verlet list skin, Å (0 = off; seq pairlist / par block lists)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the dynamics loop to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	var sys *gonamd.System
@@ -126,6 +131,9 @@ func main() {
 			log.Fatal(err)
 		}
 		e.Thermo = th
+		if *skin > 0 {
+			e.EnablePairlist(*skin)
+		}
 		eng = e
 		fmt.Println("engine: sequential")
 	} else {
@@ -134,8 +142,16 @@ func main() {
 			log.Fatal(err)
 		}
 		e.Thermo = th
+		if *skin > 0 {
+			if err := e.EnableBlockLists(*skin); err != nil {
+				log.Fatal(err)
+			}
+		}
 		eng = e
 		fmt.Printf("engine: parallel, %d workers, %d tasks\n", e.Workers(), e.NumTasks())
+	}
+	if *skin > 0 {
+		fmt.Printf("verlet lists: skin %.2f Å\n", *skin)
 	}
 
 	var tw *traj.Writer
@@ -150,6 +166,40 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// Profiling covers only the dynamics loop: setup (building, binning,
+	// minimization) would otherwise dominate short runs.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("writing CPU profile %s: %v", *cpuprofile, err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // materialize the steady-state live set
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatalf("writing heap profile %s: %v", *memprofile, err)
+			}
+		}()
 	}
 
 	seqEng, _ := eng.(*gonamd.Sequential)

@@ -62,6 +62,15 @@ func TestDifferentialForcesAcrossEngines(t *testing.T) {
 			t.Fatal(err)
 		}
 		check("parallel", par.ComputeForces(), par.Forces())
+
+		blocked, err := gonamd.NewParallel(sys, ff, st.Clone(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := blocked.EnableBlockLists(1.5); err != nil {
+			t.Fatal(err)
+		}
+		check("parallel+blocklists", blocked.ComputeForces(), blocked.Forces())
 	}
 }
 
@@ -114,6 +123,19 @@ func TestDifferentialTrajectories(t *testing.T) {
 			par.Step(dt)
 		}
 		compare("parallel", parSt.Pos, 1e-6)
+
+		blockedSt := st.Clone()
+		blocked, err := gonamd.NewParallel(sys, ff, blockedSt, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := blocked.EnableBlockLists(1.5); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			blocked.Step(dt)
+		}
+		compare("parallel+blocklists", blockedSt.Pos, 1e-6)
 	}
 }
 
@@ -124,23 +146,30 @@ func TestParallelBitwiseDeterminism(t *testing.T) {
 	sys, st, ff := diffSystem(t)
 	const steps, dt = 10, 0.5
 	for _, workers := range []int{1, 2, 4, 8} {
-		run := func() *gonamd.State {
+		run := func(blockLists bool) *gonamd.State {
 			parSt := st.Clone()
 			par, err := gonamd.NewParallel(sys, ff, parSt, workers)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if blockLists {
+				if err := par.EnableBlockLists(1.5); err != nil {
+					t.Fatal(err)
+				}
 			}
 			for i := 0; i < steps; i++ {
 				par.Step(dt)
 			}
 			return parSt
 		}
-		a, b := run(), run()
-		if !reflect.DeepEqual(a.Pos, b.Pos) {
-			t.Errorf("%d workers: positions not bitwise reproducible", workers)
-		}
-		if !reflect.DeepEqual(a.Vel, b.Vel) {
-			t.Errorf("%d workers: velocities not bitwise reproducible", workers)
+		for _, blockLists := range []bool{false, true} {
+			a, b := run(blockLists), run(blockLists)
+			if !reflect.DeepEqual(a.Pos, b.Pos) {
+				t.Errorf("%d workers (blockLists=%v): positions not bitwise reproducible", workers, blockLists)
+			}
+			if !reflect.DeepEqual(a.Vel, b.Vel) {
+				t.Errorf("%d workers (blockLists=%v): velocities not bitwise reproducible", workers, blockLists)
+			}
 		}
 	}
 }

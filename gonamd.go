@@ -67,11 +67,23 @@ type (
 
 // Engines.
 type (
-	// Sequential is the single-threaded reference engine.
+	// Sequential is the single-threaded reference engine. Call
+	// EnablePairlist(skin) to switch its nonbonded path to a
+	// Verlet pair list with the given skin (Å).
 	Sequential = seq.Engine
-	// Parallel is the shared-memory goroutine engine.
+	// Parallel is the shared-memory goroutine engine. Call
+	// EnableBlockLists(skin) to cache per-task Verlet block lists,
+	// rebuilt only when an atom drifts beyond skin/2.
 	Parallel = par.Engine
 )
+
+// PairBatch is the SoA pair block consumed by ForceField.NonbondedBatch —
+// the batched kernel both engines stream their nonbonded pairs through.
+type PairBatch = forcefield.PairBatch
+
+// NewPairBatch allocates a reusable pair batch with the given capacity
+// (forcefield.DefaultBatchSize is the engines' block size).
+var NewPairBatch = forcefield.NewPairBatch
 
 // Cluster simulation types.
 type (

@@ -1,0 +1,123 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"gonamd/internal/xrand"
+)
+
+// relDiff returns |a-b| / max(|a|,|b|,1e-300).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-300 {
+		m = 1e-300
+	}
+	return d / m
+}
+
+// TestDifferentialBatchKernel drives randomized pair sets through both
+// NonbondedBatch and the scalar Nonbonded reference and requires
+// agreement to 1e-12 relative on per-pair forces and on the summed
+// energies and virial. The pair sets deliberately include 1-4 modified
+// pairs, separations straddling SwitchDist and Cutoff (both sides of
+// each boundary), and zero-distance degenerate pairs.
+func TestDifferentialBatchKernel(t *testing.T) {
+	p := Standard(12.0) // SwitchDist = 10.0
+	types := []int32{TypeOW, TypeHW, TypeC, TypeCT, TypeN, TypeO, TypeH, TypeP}
+	rng := xrand.New(99)
+
+	const tol = 1e-12
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(rng.Uint64()%500)
+		b := NewPairBatch(n)
+		for k := 0; k < n; k++ {
+			ti := types[rng.Uint64()%uint64(len(types))]
+			tj := types[rng.Uint64()%uint64(len(types))]
+			qi := rng.Range(-1, 1)
+			qj := rng.Range(-1, 1)
+
+			var r float64
+			switch rng.Uint64() % 8 {
+			case 0: // just inside SwitchDist
+				r = 10.0 - rng.Range(0, 1e-6)
+			case 1: // just outside SwitchDist
+				r = 10.0 + rng.Range(0, 1e-6)
+			case 2: // just inside Cutoff
+				r = 12.0 - rng.Range(0, 1e-6)
+			case 3: // at or beyond Cutoff (must contribute nothing)
+				r = 12.0 + rng.Range(0, 2)
+			case 4: // degenerate zero-distance pair
+				r = 0
+			default:
+				r = rng.Range(0.8, 11.9)
+			}
+			// A random direction carrying the separation r.
+			ux, uy, uz := rng.Range(-1, 1), rng.Range(-1, 1), rng.Range(-1, 1)
+			un := math.Sqrt(ux*ux + uy*uy + uz*uz)
+			if un == 0 {
+				ux, uy, uz, un = 1, 0, 0, 1
+			}
+			dx, dy, dz := ux/un*r, uy/un*r, uz/un*r
+			r2 := dx*dx + dy*dy + dz*dz
+			mod := rng.Uint64()%4 == 0
+
+			b.Append(int32(2*k), int32(2*k+1), ti, tj, qi, qj, dx, dy, dz, r2, mod)
+		}
+
+		gotVdw, gotElec, gotVir := p.NonbondedBatch(b)
+
+		var wantVdw, wantElec, wantVir float64
+		for k := 0; k < b.Len(); k++ {
+			ev, ee, fOverR := p.Nonbonded(b.Ti[k], b.Tj[k], b.Qi[k], b.Qj[k], b.R2[k], b.Mod[k])
+			wantVdw += ev
+			wantElec += ee
+			fx := fOverR * b.Dx[k]
+			fy := fOverR * b.Dy[k]
+			fz := fOverR * b.Dz[k]
+			wantVir += fx*b.Dx[k] + fy*b.Dy[k] + fz*b.Dz[k]
+			if relDiff(b.Fx[k], fx) > tol || relDiff(b.Fy[k], fy) > tol || relDiff(b.Fz[k], fz) > tol {
+				t.Fatalf("trial %d pair %d (r2=%g mod=%v): batch force (%g,%g,%g) != scalar (%g,%g,%g)",
+					trial, k, b.R2[k], b.Mod[k], b.Fx[k], b.Fy[k], b.Fz[k], fx, fy, fz)
+			}
+			// The batch must be bitwise identical per pair, not merely close:
+			// the engines rely on this for cross-path force identity.
+			if b.Fx[k] != fx || b.Fy[k] != fy || b.Fz[k] != fz {
+				t.Fatalf("trial %d pair %d: batch force not bitwise identical to scalar", trial, k)
+			}
+		}
+		if relDiff(gotVdw, wantVdw) > tol {
+			t.Fatalf("trial %d: evdw %g != %g", trial, gotVdw, wantVdw)
+		}
+		if relDiff(gotElec, wantElec) > tol {
+			t.Fatalf("trial %d: eelec %g != %g", trial, gotElec, wantElec)
+		}
+		if relDiff(gotVir, wantVir) > tol {
+			t.Fatalf("trial %d: virial %g != %g", trial, gotVir, wantVir)
+		}
+	}
+}
+
+// TestPairBatchReuse checks that Reset/Append cycles below capacity never
+// reallocate the SoA arrays — the zero-allocation contract the engines'
+// steady state depends on.
+func TestPairBatchReuse(t *testing.T) {
+	b := NewPairBatch(64)
+	base := &b.R2[:1][0] // capacity > 0, safe to take the backing address
+	for cycle := 0; cycle < 10; cycle++ {
+		b.Reset()
+		for k := 0; k < 64; k++ {
+			b.Append(int32(k), int32(k+1), TypeOW, TypeHW, -0.8, 0.4, 1, 2, 3, 14, false)
+		}
+		if !b.Full() {
+			t.Fatalf("cycle %d: batch should be full at capacity", cycle)
+		}
+		if &b.R2[0] != base {
+			t.Fatalf("cycle %d: R2 backing array reallocated", cycle)
+		}
+	}
+}

@@ -28,6 +28,32 @@ func BenchmarkNonbondedPair(b *testing.B) {
 	_ = acc
 }
 
+// BenchmarkNonbondedBatch measures the batched SoA kernel on full
+// DefaultBatchSize-pair blocks — the granularity the engines actually use
+// — and reports per-pair cost for direct comparison with
+// BenchmarkNonbondedPair.
+func BenchmarkNonbondedBatch(b *testing.B) {
+	p := Standard(12.0)
+	rng := xrand.New(1)
+	batch := NewPairBatch(DefaultBatchSize)
+	for k := 0; k < DefaultBatchSize; k++ {
+		r := rng.Range(2, 11.9)
+		ux, uy, uz := rng.Range(-1, 1), rng.Range(-1, 1), rng.Range(-1, 1)
+		un := 1 / (ux*ux + uy*uy + uz*uz)
+		dx, dy, dz := ux*un*r, uy*un*r, uz*un*r
+		batch.Append(int32(2*k), int32(2*k+1), TypeOW, TypeHW, -0.834, 0.417,
+			dx, dy, dz, dx*dx+dy*dy+dz*dz, k%8 == 0)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		evdw, eelec, vir := p.NonbondedBatch(batch)
+		acc += evdw + eelec + vir
+	}
+	_ = acc
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/DefaultBatchSize, "ns/pair")
+}
+
 func BenchmarkBondKernel(b *testing.B) {
 	p := Standard(12.0)
 	box := vec.New(50, 50, 50)

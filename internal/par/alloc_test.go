@@ -1,0 +1,34 @@
+package par
+
+import (
+	"testing"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/molgen"
+)
+
+// TestStepZeroAllocs guards the steady-state hot path: once the block
+// lists are built and the worker pool is up, a dynamics step must not
+// allocate. Regressions here (per-step goroutine spawns, batch or touch
+// list growth, rebinning scratch) show up as a nonzero count.
+func TestStepZeroAllocs(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(7.0)
+	e, err := New(sys, ff, st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RebalanceEvery = 0
+	if err := e.EnableBlockLists(1.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e.Step(0.5)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+		t.Fatalf("steady-state Step allocates: %v allocs/step, want 0", allocs)
+	}
+}

@@ -1,0 +1,191 @@
+package par
+
+import (
+	"math"
+
+	"gonamd/internal/seq"
+	"gonamd/internal/spatial"
+	"gonamd/internal/topology"
+	"gonamd/internal/vec"
+)
+
+// Block lists: each nonbonded task (cell self-compute or adjacent-cell
+// pair-compute) caches the packed list of non-excluded candidate pairs
+// within cutoff+skin at build time. While no atom has moved more than
+// skin/2 since the build, the cached lists still cover every
+// within-cutoff pair — the same invalidation rule (and spatial helpers)
+// as seq's pairlist. Staleness is detected per cell against the frozen
+// binning, but a single dirty cell invalidates every list: partial
+// rebuilds against a new binning could drop a migrated atom's pairs from
+// tasks that never held it, or double-count pairs present in both an old
+// and a new list. All lists are therefore rebuilt together from one
+// consistent binning (see DESIGN.md, "Hot path").
+
+// blockModBit flags a packed pair as a 1-4 modified pair. Atom indices
+// fit in 31 bits, leaving the top bit of the high word free.
+const blockModBit = 1 << 63
+
+func packPair(i, j int32, modified bool) uint64 {
+	pk := uint64(uint32(i))<<32 | uint64(uint32(j))
+	if modified {
+		pk |= blockModBit
+	}
+	return pk
+}
+
+func unpackPair(pk uint64) (i, j int32, modified bool) {
+	return int32(pk>>32) & 0x7fffffff, int32(uint32(pk)), pk&blockModBit != 0
+}
+
+// EnableBlockLists switches the engine's nonbonded tasks to cached Verlet
+// pair lists with the given skin (Å; typical 1.5-2.0). The spatial grid
+// is rebuilt with cells at least cutoff+skin wide — adjacent-cell task
+// coverage must span the list distance, not just the cutoff — and the
+// task decomposition is rebuilt on the new grid.
+func (e *Engine) EnableBlockLists(skin float64) error {
+	if skin <= 0 {
+		panic("par: block-list skin must be positive")
+	}
+	grid, err := spatial.NewGrid(e.Sys.Box, e.FF.Cutoff+skin)
+	if err != nil {
+		return err
+	}
+	e.grid = grid
+	e.binner = spatial.NewBinner(grid)
+	e.tasks = nil
+	e.buildTasks()
+	e.staticAssign()
+
+	e.skin = skin
+	e.blists = make([][]uint64, len(e.tasks))
+	e.refPos = make([]vec.V3, e.Sys.N())
+	e.guard.Limit = skin / 2
+	e.guard.Invalidate()
+	e.listBuilt = false
+	e.rebuilds = 0
+	e.listScans, e.listSkips = 0, 0
+	e.fresh = false
+	return nil
+}
+
+// BlockListRebuilds reports how many times the task lists were rebuilt.
+func (e *Engine) BlockListRebuilds() int { return e.rebuilds }
+
+// BlockListScans reports validity checks that ran the displacement scan;
+// BlockListSkips reports checks answered by the drift bound alone.
+func (e *Engine) BlockListScans() int { return e.listScans }
+
+// BlockListSkips reports validity checks skipped via the drift bound.
+func (e *Engine) BlockListSkips() int { return e.listSkips }
+
+// listsValid reports whether every task's cached list still covers all
+// within-cutoff pairs.
+func (e *Engine) listsValid() bool {
+	if !e.listBuilt {
+		return false
+	}
+	if e.guard.CanSkip() {
+		e.listSkips++
+		return true
+	}
+	e.listScans++
+	d2 := spatial.MaxDisplacement2(e.St.Pos, e.refPos, e.Sys.Box)
+	limit := e.guard.Limit
+	if d2 > limit*limit {
+		// Bookkeeping: which cell (under the frozen binning the lists were
+		// built from) went dirty first.
+		e.dirtyCell = spatial.CellMovedBeyond(e.bins, e.St.Pos, e.refPos, e.Sys.Box, limit)
+		return false
+	}
+	// The scan measured the true maximum displacement; seed the bound so
+	// subsequent checks can skip again.
+	e.guard.Seed(math.Sqrt(d2))
+	return true
+}
+
+// advanceGuard feeds one integration step's maximum displacement bound
+// (|v|max·dt) to the drift guard.
+func (e *Engine) advanceGuard(maxV2, dt float64) {
+	if e.skin > 0 {
+		e.guard.Advance(math.Sqrt(maxV2) * dt)
+	}
+}
+
+// buildRunTask regenerates one task's block list from the fresh binning
+// and evaluates it in the same pass: every candidate within cutoff+skin
+// is recorded, and those already within the cutoff stream into the
+// worker's batch. The accepted-pair sequence is identical to what
+// runListTask produces from the cached list, so forces and energies are
+// bitwise independent of whether this evaluation rebuilt.
+func (e *Engine) buildRunTask(ti int, t *task, w int, ws *wstate, en *seq.Energies) {
+	lst := e.blists[ti][:0]
+	listDist := e.FF.Cutoff + e.skin
+	list2 := listDist * listDist
+	cutoff2 := e.FF.Cutoff * e.FF.Cutoff
+
+	switch t.kind {
+	case taskSelf:
+		atoms := e.bins[t.cellA]
+		for x := 0; x < len(atoms); x++ {
+			for y := x + 1; y < len(atoms); y++ {
+				lst = e.considerPair(lst, atoms[x], atoms[y], list2, cutoff2, w, ws, en)
+			}
+		}
+	case taskPair:
+		for _, i := range e.bins[t.cellA] {
+			for _, j := range e.bins[t.cellB] {
+				lst = e.considerPair(lst, i, j, list2, cutoff2, w, ws, en)
+			}
+		}
+	}
+	e.blists[ti] = lst
+}
+
+// considerPair screens one candidate during a rebuild: record it in the
+// block list if within the list distance, and evaluate it now if already
+// within the cutoff.
+func (e *Engine) considerPair(lst []uint64, i, j int32, list2, cutoff2 float64, w int, ws *wstate, en *seq.Energies) []uint64 {
+	d := vec.MinImage(e.St.Pos[i], e.St.Pos[j], e.Sys.Box)
+	r2 := d.Norm2()
+	if r2 >= list2 {
+		return lst
+	}
+	kind := e.Sys.Classify(i, j)
+	if kind == topology.PairExcluded {
+		return lst
+	}
+	mod := kind == topology.PairModified
+	lst = append(lst, packPair(i, j, mod))
+	if r2 >= cutoff2 {
+		return lst
+	}
+	ai, aj := &e.Sys.Atoms[i], &e.Sys.Atoms[j]
+	e.wbatch[w].Append(i, j, ai.Type, aj.Type, ai.Charge, aj.Charge, d.X, d.Y, d.Z, r2, mod)
+	if e.wbatch[w].Full() {
+		e.flushBatch(w, ws, en)
+	}
+	return lst
+}
+
+// runListTask evaluates one task from its cached block list: no
+// exclusion lookups, no out-of-range cell scans — just a distance check
+// per remembered pair.
+func (e *Engine) runListTask(ti int, w int, ws *wstate, en *seq.Energies) {
+	cutoff2 := e.FF.Cutoff * e.FF.Cutoff
+	pos, box := e.St.Pos, e.Sys.Box
+	atoms := e.Sys.Atoms
+	b := e.wbatch[w]
+	for _, pk := range e.blists[ti] {
+		i, j, mod := unpackPair(pk)
+		d := vec.MinImage(pos[i], pos[j], box)
+		r2 := d.Norm2()
+		if r2 >= cutoff2 {
+			continue
+		}
+		ai, aj := &atoms[i], &atoms[j]
+		b.Append(i, j, ai.Type, aj.Type, ai.Charge, aj.Charge, d.X, d.Y, d.Z, r2, mod)
+		if b.Full() {
+			e.flushBatch(w, ws, en)
+		}
+	}
+}

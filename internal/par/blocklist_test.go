@@ -1,0 +1,171 @@
+package par
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gonamd/internal/forcefield"
+	"gonamd/internal/molgen"
+	"gonamd/internal/seq"
+	"gonamd/internal/vec"
+)
+
+// TestDifferentialBlockListForces checks that the block-list path
+// produces the same forces and energies as the sequential reference at
+// every worker count, both right after a rebuild and on cached-list
+// steps.
+func TestDifferentialBlockListForces(t *testing.T) {
+	sys, st, ff := smallSystem(t)
+	ref, err := seq.New(sys, ff, st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEn := ref.ComputeForces()
+	refF := ref.Forces()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng, err := New(sys, ff, st.Clone(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.EnableBlockLists(1.5); err != nil {
+			t.Fatal(err)
+		}
+		en := eng.ComputeForces()
+		if eng.BlockListRebuilds() != 1 {
+			t.Fatalf("%d workers: rebuilds = %d after first evaluation", workers, eng.BlockListRebuilds())
+		}
+		if math.Abs(en.Potential()-refEn.Potential()) > 1e-7*(1+math.Abs(refEn.Potential())) {
+			t.Errorf("%d workers: potential %v vs sequential %v", workers, en.Potential(), refEn.Potential())
+		}
+		for i, f := range eng.Forces() {
+			if !vec.ApproxEq(f, refF[i], 1e-7*(1+refF[i].Norm())) {
+				t.Fatalf("%d workers: force on atom %d = %v, sequential %v", workers, i, f, refF[i])
+			}
+		}
+		// A second evaluation must reuse the cached lists and produce
+		// bitwise-identical forces (same positions, list path instead of
+		// build path).
+		first := append([]vec.V3(nil), eng.Forces()...)
+		eng.Invalidate()
+		eng.ComputeForces()
+		if eng.BlockListRebuilds() != 1 {
+			t.Fatalf("%d workers: unexpected rebuild on unchanged positions", workers)
+		}
+		if !reflect.DeepEqual(first, eng.Forces()) {
+			t.Fatalf("%d workers: cached-list forces differ bitwise from build-pass forces", workers)
+		}
+	}
+}
+
+// TestDifferentialBlockListTrajectory runs dynamics with block lists
+// against the sequential engine, forcing list reuse and rebuilds along
+// the way. A water box is used rather than smallSystem: trajectories of
+// the latter blow up from steric overlaps, chaotically amplifying
+// legitimate last-bit reduction differences.
+func TestDifferentialBlockListTrajectory(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(16, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(7.0)
+	refSt := st.Clone()
+	ref, err := seq.New(sys, ff, refSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSt := st.Clone()
+	eng, err := New(sys, ff, parSt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableBlockLists(1.5); err != nil {
+		t.Fatal(err)
+	}
+	eng.RebalanceEvery = 0
+
+	const steps = 10
+	for s := 0; s < steps; s++ {
+		ref.Step(0.5)
+		eng.Step(0.5)
+	}
+	for i := range refSt.Pos {
+		d := vec.MinImage(refSt.Pos[i], parSt.Pos[i], sys.Box).Norm()
+		if d > 1e-6 {
+			t.Fatalf("trajectories diverged by %.2e Å at atom %d", d, i)
+		}
+	}
+	if eng.BlockListRebuilds() < 1 {
+		t.Error("no list build recorded")
+	}
+	checks := eng.BlockListScans() + eng.BlockListSkips()
+	if checks == 0 {
+		t.Error("no validity checks recorded")
+	}
+	t.Logf("steps=%d rebuilds=%d scans=%d skips=%d", steps,
+		eng.BlockListRebuilds(), eng.BlockListScans(), eng.BlockListSkips())
+}
+
+// TestDifferentialBlockListDeterminism verifies the sparse-reduction
+// bitwise-reproducibility contract with block lists enabled: two runs at
+// the same worker count produce identical bit patterns.
+func TestDifferentialBlockListDeterminism(t *testing.T) {
+	sys, st, ff := smallSystem(t)
+	for _, workers := range []int{2, 4, 8} {
+		run := func() ([]vec.V3, []vec.V3) {
+			eSt := st.Clone()
+			eng, err := New(sys, ff, eSt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.EnableBlockLists(1.5); err != nil {
+				t.Fatal(err)
+			}
+			eng.RebalanceEvery = 0
+			for s := 0; s < 8; s++ {
+				eng.Step(0.5)
+			}
+			return eSt.Pos, eSt.Vel
+		}
+		p1, v1 := run()
+		p2, v2 := run()
+		if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(v1, v2) {
+			t.Fatalf("%d workers: block-list run not bitwise reproducible", workers)
+		}
+	}
+}
+
+// TestBlockListRebuildOnMotion checks the skin/2 invalidation rule end to
+// end: an external move beyond skin/2 (through Invalidate) must trigger a
+// rebuild, while no motion must not.
+func TestBlockListRebuildOnMotion(t *testing.T) {
+	sys, st, ff := smallSystem(t)
+	eng, err := New(sys, ff, st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableBlockLists(1.0); err != nil {
+		t.Fatal(err)
+	}
+	eng.ComputeForces()
+	if eng.BlockListRebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", eng.BlockListRebuilds())
+	}
+	// No motion: cached lists stay.
+	eng.Invalidate()
+	eng.ComputeForces()
+	if eng.BlockListRebuilds() != 1 {
+		t.Errorf("rebuilds = %d, want 1 (no motion)", eng.BlockListRebuilds())
+	}
+	// Move one atom beyond skin/2.
+	st.Pos[0] = vec.Wrap(st.Pos[0].Add(vec.New(0.7, 0, 0)), sys.Box)
+	eng.Invalidate()
+	eng.ComputeForces()
+	if eng.BlockListRebuilds() != 2 {
+		t.Errorf("rebuilds = %d, want 2 after large displacement", eng.BlockListRebuilds())
+	}
+	if eng.dirtyCell < 0 {
+		t.Error("dirty cell not recorded on invalidating scan")
+	}
+}

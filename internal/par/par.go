@@ -7,11 +7,21 @@
 // greedy/refinement strategies (internal/ldb) the cluster simulation
 // uses. Forces accumulate into worker-private arrays and are reduced in a
 // deterministic order, so results are independent of scheduling.
+//
+// The nonbonded hot path is batched: candidate pairs that survive
+// screening stream into per-worker structure-of-arrays blocks evaluated
+// by forcefield.NonbondedBatch, and each worker records the set of atom
+// indices it actually wrote so both the zeroing of its private array and
+// the final reduction cost O(touched) instead of O(N·workers). With
+// EnableBlockLists each nonbonded task additionally caches a Verlet pair
+// list with a skin, rebuilt only when atoms drift too far (see
+// blocklist.go).
 package par
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -49,6 +59,31 @@ type bondedRef struct {
 	idx  int32
 }
 
+// wstate is one worker's private force accumulator plus the sparse record
+// of which atoms it has written this evaluation. touch is sorted at the
+// end of the compute phase so the reduction can binary-search it.
+type wstate struct {
+	f     []vec.V3
+	touch []int32
+	mark  []bool
+}
+
+func (ws *wstate) add(i int32, fv vec.V3) {
+	if !ws.mark[i] {
+		ws.mark[i] = true
+		ws.touch = append(ws.touch, i)
+	}
+	ws.f[i] = ws.f[i].Add(fv)
+}
+
+func (ws *wstate) sub(i int32, fv vec.V3) {
+	if !ws.mark[i] {
+		ws.mark[i] = true
+		ws.touch = append(ws.touch, i)
+	}
+	ws.f[i] = ws.f[i].Sub(fv)
+}
+
 // Engine runs molecular dynamics across a pool of goroutine workers.
 type Engine struct {
 	Sys *topology.System
@@ -64,15 +99,37 @@ type Engine struct {
 
 	workers  int
 	grid     *spatial.Grid
+	binner   *spatial.Binner
 	tasks    []task
 	assign   []int // task → worker
 	cellHome []int // cell → initially responsible worker (for ldb locality)
 	terms    []bondedRef
 
 	bins    [][]int32
-	forces  []vec.V3   // reduced forces
-	wforces [][]vec.V3 // per-worker force accumulators
+	forces  []vec.V3 // reduced forces
+	wstates []wstate // per-worker accumulators with touched-set tracking
+	wbatch  []*forcefield.PairBatch
 	wenergy []seq.Energies
+
+	// Persistent worker pool: spawning 2·workers goroutines per force
+	// evaluation was the last per-step allocation source, so a fixed pool
+	// parks on workCh instead. A job k < workers is compute phase for
+	// worker k; k >= workers is reduce phase for worker k-workers.
+	poolOnce sync.Once
+	workCh   chan int
+	wg       sync.WaitGroup
+
+	// Verlet block lists (EnableBlockLists); skin == 0 means disabled.
+	skin       float64
+	blists     [][]uint64 // per-task packed pair lists
+	refPos     []vec.V3   // positions at last list build
+	guard      spatial.DriftGuard
+	listBuilt  bool
+	rebuildNow bool // this evaluation rebuilds every task's list
+	rebuilds   int
+	listScans  int
+	listSkips  int
+	dirtyCell  int // cell that triggered the last rebuild (-1 initial)
 
 	cur      seq.Energies
 	fresh    bool
@@ -100,12 +157,20 @@ func New(sys *topology.System, ff *forcefield.Params, st *topology.State, worker
 		RebalanceEvery: 20,
 		workers:        workers,
 		grid:           grid,
+		binner:         spatial.NewBinner(grid),
 		forces:         make([]vec.V3, sys.N()),
-		wforces:        make([][]vec.V3, workers),
+		wstates:        make([]wstate, workers),
+		wbatch:         make([]*forcefield.PairBatch, workers),
 		wenergy:        make([]seq.Energies, workers),
+		dirtyCell:      -1,
 	}
-	for wkr := range e.wforces {
-		e.wforces[wkr] = make([]vec.V3, sys.N())
+	for w := range e.wstates {
+		e.wstates[w] = wstate{
+			f:     make([]vec.V3, sys.N()),
+			touch: make([]int32, 0, sys.N()),
+			mark:  make([]bool, sys.N()),
+		}
+		e.wbatch[w] = forcefield.NewPairBatch(forcefield.DefaultBatchSize)
 	}
 	e.buildTasks()
 	e.staticAssign()
@@ -129,17 +194,19 @@ func (e *Engine) buildTasks() {
 	for _, pr := range e.grid.NeighborPairs() {
 		e.tasks = append(e.tasks, task{kind: taskPair, cellA: pr[0], cellB: pr[1], cells: []int{pr[0], pr[1]}})
 	}
-	for i := range e.Sys.Bonds {
-		e.terms = append(e.terms, bondedRef{0, int32(i)})
-	}
-	for i := range e.Sys.Angles {
-		e.terms = append(e.terms, bondedRef{1, int32(i)})
-	}
-	for i := range e.Sys.Dihedrals {
-		e.terms = append(e.terms, bondedRef{2, int32(i)})
-	}
-	for i := range e.Sys.Impropers {
-		e.terms = append(e.terms, bondedRef{3, int32(i)})
+	if e.terms == nil {
+		for i := range e.Sys.Bonds {
+			e.terms = append(e.terms, bondedRef{0, int32(i)})
+		}
+		for i := range e.Sys.Angles {
+			e.terms = append(e.terms, bondedRef{1, int32(i)})
+		}
+		for i := range e.Sys.Dihedrals {
+			e.terms = append(e.terms, bondedRef{2, int32(i)})
+		}
+		for i := range e.Sys.Impropers {
+			e.terms = append(e.terms, bondedRef{3, int32(i)})
+		}
 	}
 	const chunk = 512
 	for lo := 0; lo < len(e.terms); lo += chunk {
@@ -158,7 +225,7 @@ func (e *Engine) staticAssign() {
 	np := e.grid.NumPatches()
 	centers := make([]vec.V3, np)
 	weights := make([]float64, np)
-	bins := e.grid.Bin(e.St.Pos)
+	bins := e.binner.Bin(e.St.Pos)
 	for c := 0; c < np; c++ {
 		centers[c] = e.grid.Center(c)
 		weights[c] = float64(len(bins[c])) + 1
@@ -178,7 +245,8 @@ func (e *Engine) staticAssign() {
 }
 
 // Rebalance remaps tasks to workers using the measured task times and the
-// same greedy+refine strategies as the cluster simulation.
+// same greedy+refine strategies as the cluster simulation. Cached block
+// lists are per task, not per worker, so they survive reassignment.
 func (e *Engine) Rebalance() {
 	prob := &ldb.Problem{
 		NumPE:      e.workers,
@@ -204,64 +272,37 @@ func (e *Engine) Rebalance() {
 // ComputeForces evaluates all forces in parallel and returns energies
 // (kinetic included).
 func (e *Engine) ComputeForces() seq.Energies {
-	e.bins = e.grid.Bin(e.St.Pos)
-
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			f := e.wforces[w]
-			for i := range f {
-				f[i] = vec.Zero
-			}
-			var en seq.Energies
-			for ti := range e.tasks {
-				if e.assign[ti] != w {
-					continue
-				}
-				start := time.Now()
-				e.runTask(&e.tasks[ti], f, &en)
-				dt := time.Since(start).Seconds()
-				// Exponential smoothing stabilizes the measurements the
-				// balancer sees (principle of persistence).
-				t := &e.tasks[ti]
-				if t.measured == 0 {
-					t.measured = dt
-				} else {
-					t.measured = 0.7*t.measured + 0.3*dt
-				}
-			}
-			e.wenergy[w] = en
-		}(w)
-	}
-	wg.Wait()
-
-	// Deterministic reduction: worker order is fixed.
-	n := e.Sys.N()
-	chunk := (n + e.workers - 1) / e.workers
-	var rg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	if e.skin > 0 {
+		// Block lists: rebin (and snapshot reference positions) only when
+		// the lists went stale; otherwise both bins and lists are reused.
+		e.rebuildNow = !e.listsValid()
+		if e.rebuildNow {
+			e.bins = e.binner.Bin(e.St.Pos)
+			copy(e.refPos, e.St.Pos)
+			e.guard.Reset()
+			e.listBuilt = true
+			e.rebuilds++
 		}
-		if lo >= hi {
-			continue
-		}
-		rg.Add(1)
-		go func(lo, hi int) {
-			defer rg.Done()
-			for i := lo; i < hi; i++ {
-				sum := vec.Zero
-				for w := 0; w < e.workers; w++ {
-					sum = sum.Add(e.wforces[w][i])
-				}
-				e.forces[i] = sum
-			}
-		}(lo, hi)
+	} else {
+		e.bins = e.binner.Bin(e.St.Pos)
 	}
-	rg.Wait()
+
+	e.poolOnce.Do(e.startPool)
+	e.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		e.workCh <- w
+	}
+	e.wg.Wait()
+
+	// Deterministic sparse reduction: each reducer owns an atom range and
+	// adds worker contributions in fixed worker order, visiting only atoms
+	// the worker actually touched (its sorted touch list locates the range
+	// by binary search).
+	e.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		e.workCh <- e.workers + w
+	}
+	e.wg.Wait()
 
 	var en seq.Energies
 	for w := 0; w < e.workers; w++ {
@@ -279,30 +320,123 @@ func (e *Engine) ComputeForces() seq.Energies {
 	return en
 }
 
-func (e *Engine) runTask(t *task, f []vec.V3, en *seq.Energies) {
+// startPool launches the persistent workers (once, at first evaluation).
+// They park on workCh between phases; channel sends of plain ints and the
+// shared WaitGroup keep the steady-state dispatch allocation-free.
+func (e *Engine) startPool() {
+	e.workCh = make(chan int)
+	for k := 0; k < e.workers; k++ {
+		go e.workerLoop()
+	}
+}
+
+func (e *Engine) workerLoop() {
+	n := e.Sys.N()
+	chunk := (n + e.workers - 1) / e.workers
+	for job := range e.workCh {
+		if job < e.workers {
+			e.computeWorker(job)
+		} else {
+			w := job - e.workers
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo < hi {
+				e.reduceRange(lo, hi)
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+// computeWorker is phase one: run the worker's assigned tasks into its
+// private accumulator. Zeroing covers only the atoms touched during the
+// previous evaluation.
+func (e *Engine) computeWorker(w int) {
+	ws := &e.wstates[w]
+	for _, i := range ws.touch {
+		ws.f[i] = vec.Zero
+		ws.mark[i] = false
+	}
+	ws.touch = ws.touch[:0]
+
+	var en seq.Energies
+	for ti := range e.tasks {
+		if e.assign[ti] != w {
+			continue
+		}
+		start := time.Now()
+		t := &e.tasks[ti]
+		switch {
+		case t.kind == taskBonded:
+			e.bondedRange(t.lo, t.hi, ws, &en)
+		case e.skin > 0 && e.rebuildNow:
+			e.buildRunTask(ti, t, w, ws, &en)
+		case e.skin > 0:
+			e.runListTask(ti, w, ws, &en)
+		default:
+			e.runCellTask(t, w, ws, &en)
+		}
+		// The batch never spans tasks: flushing here keeps each task's
+		// energy grouping self-contained regardless of which worker runs
+		// it, and charges the work to the right task measurement.
+		e.flushBatch(w, ws, &en)
+		dt := time.Since(start).Seconds()
+		// Exponential smoothing stabilizes the measurements the
+		// balancer sees (principle of persistence).
+		if t.measured == 0 {
+			t.measured = dt
+		} else {
+			t.measured = 0.7*t.measured + 0.3*dt
+		}
+	}
+	slices.Sort(ws.touch)
+	e.wenergy[w] = en
+}
+
+// reduceRange is phase two: sum worker contributions for atoms [lo, hi).
+func (e *Engine) reduceRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.forces[i] = vec.Zero
+	}
+	for w := 0; w < e.workers; w++ {
+		ws := &e.wstates[w]
+		k, _ := slices.BinarySearch(ws.touch, int32(lo))
+		for ; k < len(ws.touch) && ws.touch[k] < int32(hi); k++ {
+			i := ws.touch[k]
+			e.forces[i] = e.forces[i].Add(ws.f[i])
+		}
+	}
+}
+
+// runCellTask evaluates a self or pair task directly from the current
+// binning (the non-list path).
+func (e *Engine) runCellTask(t *task, w int, ws *wstate, en *seq.Energies) {
+	cutoff2 := e.FF.Cutoff * e.FF.Cutoff
 	switch t.kind {
 	case taskSelf:
 		atoms := e.bins[t.cellA]
 		for x := 0; x < len(atoms); x++ {
 			for y := x + 1; y < len(atoms); y++ {
-				e.pairInteract(atoms[x], atoms[y], f, en)
+				e.batchPair(atoms[x], atoms[y], cutoff2, w, ws, en)
 			}
 		}
 	case taskPair:
 		for _, i := range e.bins[t.cellA] {
 			for _, j := range e.bins[t.cellB] {
-				e.pairInteract(i, j, f, en)
+				e.batchPair(i, j, cutoff2, w, ws, en)
 			}
 		}
-	case taskBonded:
-		e.bondedRange(t.lo, t.hi, f, en)
 	}
 }
 
-func (e *Engine) pairInteract(i, j int32, f []vec.V3, en *seq.Energies) {
+// batchPair screens one candidate pair and appends survivors to the
+// worker's batch, flushing full blocks.
+func (e *Engine) batchPair(i, j int32, cutoff2 float64, w int, ws *wstate, en *seq.Energies) {
 	d := vec.MinImage(e.St.Pos[i], e.St.Pos[j], e.Sys.Box)
 	r2 := d.Norm2()
-	if r2 >= e.FF.Cutoff*e.FF.Cutoff {
+	if r2 >= cutoff2 {
 		return
 	}
 	kind := e.Sys.Classify(i, j)
@@ -310,16 +444,32 @@ func (e *Engine) pairInteract(i, j int32, f []vec.V3, en *seq.Energies) {
 		return
 	}
 	ai, aj := &e.Sys.Atoms[i], &e.Sys.Atoms[j]
-	evdw, eelec, fOverR := e.FF.Nonbonded(ai.Type, aj.Type, ai.Charge, aj.Charge, r2, kind == topology.PairModified)
-	en.VdW += evdw
-	en.Elec += eelec
-	fv := d.Scale(fOverR)
-	en.Virial += fv.Dot(d)
-	f[i] = f[i].Add(fv)
-	f[j] = f[j].Sub(fv)
+	e.wbatch[w].Append(i, j, ai.Type, aj.Type, ai.Charge, aj.Charge, d.X, d.Y, d.Z, r2, kind == topology.PairModified)
+	if e.wbatch[w].Full() {
+		e.flushBatch(w, ws, en)
+	}
 }
 
-func (e *Engine) bondedRange(lo, hi int, f []vec.V3, en *seq.Energies) {
+// flushBatch evaluates the worker's pending block with the batched kernel
+// and scatters forces in append order.
+func (e *Engine) flushBatch(w int, ws *wstate, en *seq.Energies) {
+	b := e.wbatch[w]
+	if b.Len() == 0 {
+		return
+	}
+	evdw, eelec, vir := e.FF.NonbondedBatch(b)
+	en.VdW += evdw
+	en.Elec += eelec
+	en.Virial += vir
+	for k := 0; k < b.Len(); k++ {
+		fv := vec.New(b.Fx[k], b.Fy[k], b.Fz[k])
+		ws.add(b.I[k], fv)
+		ws.sub(b.J[k], fv)
+	}
+	b.Reset()
+}
+
+func (e *Engine) bondedRange(lo, hi int, ws *wstate, en *seq.Energies) {
 	pos, box := e.St.Pos, e.Sys.Box
 	for _, ref := range e.terms[lo:hi] {
 		switch ref.kind {
@@ -328,17 +478,17 @@ func (e *Engine) bondedRange(lo, hi int, f []vec.V3, en *seq.Energies) {
 			fi, fj, eb := e.FF.BondForce(b.Type, pos[b.I], pos[b.J], box)
 			en.Bond += eb
 			en.Virial += fi.Dot(vec.MinImage(pos[b.I], pos[b.J], box))
-			f[b.I] = f[b.I].Add(fi)
-			f[b.J] = f[b.J].Add(fj)
+			ws.add(b.I, fi)
+			ws.add(b.J, fj)
 		case 1:
 			a := e.Sys.Angles[ref.idx]
 			fi, fj, fk, ea := e.FF.AngleForce(a.Type, pos[a.I], pos[a.J], pos[a.K], box)
 			en.Angle += ea
 			en.Virial += fi.Dot(vec.MinImage(pos[a.I], pos[a.J], box)) +
 				fk.Dot(vec.MinImage(pos[a.K], pos[a.J], box))
-			f[a.I] = f[a.I].Add(fi)
-			f[a.J] = f[a.J].Add(fj)
-			f[a.K] = f[a.K].Add(fk)
+			ws.add(a.I, fi)
+			ws.add(a.J, fj)
+			ws.add(a.K, fk)
 		case 2:
 			d := e.Sys.Dihedrals[ref.idx]
 			fi, fj, fk, fl, ed := e.FF.DihedralForce(d.Type, pos[d.I], pos[d.J], pos[d.K], pos[d.L], box)
@@ -346,10 +496,10 @@ func (e *Engine) bondedRange(lo, hi int, f []vec.V3, en *seq.Energies) {
 			en.Virial += fi.Dot(vec.MinImage(pos[d.I], pos[d.J], box)) +
 				fk.Dot(vec.MinImage(pos[d.K], pos[d.J], box)) +
 				fl.Dot(vec.MinImage(pos[d.L], pos[d.J], box))
-			f[d.I] = f[d.I].Add(fi)
-			f[d.J] = f[d.J].Add(fj)
-			f[d.K] = f[d.K].Add(fk)
-			f[d.L] = f[d.L].Add(fl)
+			ws.add(d.I, fi)
+			ws.add(d.J, fj)
+			ws.add(d.K, fk)
+			ws.add(d.L, fl)
 		case 3:
 			d := e.Sys.Impropers[ref.idx]
 			fi, fj, fk, fl, ei := e.FF.ImproperForce(d.Type, pos[d.I], pos[d.J], pos[d.K], pos[d.L], box)
@@ -357,10 +507,10 @@ func (e *Engine) bondedRange(lo, hi int, f []vec.V3, en *seq.Energies) {
 			en.Virial += fi.Dot(vec.MinImage(pos[d.I], pos[d.J], box)) +
 				fk.Dot(vec.MinImage(pos[d.K], pos[d.J], box)) +
 				fl.Dot(vec.MinImage(pos[d.L], pos[d.J], box))
-			f[d.I] = f[d.I].Add(fi)
-			f[d.J] = f[d.J].Add(fj)
-			f[d.K] = f[d.K].Add(fk)
-			f[d.L] = f[d.L].Add(fl)
+			ws.add(d.I, fi)
+			ws.add(d.J, fj)
+			ws.add(d.K, fk)
+			ws.add(d.L, fl)
 		}
 	}
 }
@@ -385,8 +535,14 @@ func (e *Engine) Energies() seq.Energies {
 
 // Invalidate marks the cached forces stale after positions were modified
 // outside the engine (e.g. a replica-exchange configuration swap); the
-// next Step or Energies call recomputes them.
-func (e *Engine) Invalidate() { e.fresh = false }
+// next Step or Energies call recomputes them. The block-list drift bound
+// is voided too, since external edits are not drift-tracked.
+func (e *Engine) Invalidate() {
+	e.fresh = false
+	if e.skin > 0 {
+		e.guard.Invalidate()
+	}
+}
 
 // Kinetic returns the kinetic energy in kcal/mol.
 func (e *Engine) Kinetic() float64 {
@@ -409,11 +565,16 @@ func (e *Engine) Step(dt float64) {
 		e.ComputeForces()
 	}
 	pos, vel := e.St.Pos, e.St.Vel
+	var maxV2 float64
 	for i := range pos {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
+		if v2 := vel[i].Norm2(); v2 > maxV2 {
+			maxV2 = v2
+		}
 		pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dt)), e.Sys.Box)
 	}
+	e.advanceGuard(maxV2, dt)
 	e.ComputeForces()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)

@@ -127,6 +127,11 @@ func (e *Engine) StepConstrained(dt float64, c *Constraints) error {
 	if _, err := c.Shake(e.St, prev, e.Sys.Box, dt); err != nil {
 		return err
 	}
+	// SHAKE corrections move atoms beyond the |v|·dt drift, so the
+	// pairlist drift bound is unknown; force a displacement scan.
+	if e.plist != nil {
+		e.plist.guard.Invalidate()
+	}
 	e.ComputeForces()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)

@@ -1,6 +1,8 @@
 package seq
 
 import (
+	"math"
+
 	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
@@ -88,12 +90,21 @@ func (m *MTS) Step(dtFast float64, k int) {
 		a := m.slow[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dtOuter))
 	}
-	// Inner velocity-Verlet loop with the fast (bonded) forces.
+	// Inner velocity-Verlet loop with the fast (bonded) forces. Each
+	// inner drift moves atoms by |v|·dtFast, which must advance the
+	// pairlist drift bound before the slow-force evaluation below.
 	for inner := 0; inner < k; inner++ {
+		var maxV2 float64
 		for i := range pos {
 			a := m.fast[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 			vel[i] = vel[i].Add(a.Scale(0.5 * dtFast))
+			if v2 := vel[i].Norm2(); v2 > maxV2 {
+				maxV2 = v2
+			}
 			pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dtFast)), e.Sys.Box)
+		}
+		if e.plist != nil {
+			e.plist.guard.Advance(math.Sqrt(maxV2) * dtFast)
 		}
 		m.fastEn = e.computeFastForces(m.fast)
 		for i := range vel {

@@ -1,6 +1,9 @@
 package seq
 
 import (
+	"math"
+
+	"gonamd/internal/spatial"
 	"gonamd/internal/topology"
 	"gonamd/internal/vec"
 )
@@ -19,6 +22,14 @@ type pairlist struct {
 	skin   float64
 	pairs  []pairEntry
 	refPos []vec.V3
+
+	// guard tracks an upper bound on displacement since the last build so
+	// most validity checks cost O(1) instead of an O(N) scan; the
+	// integrator advances it each step, and every code path that moves
+	// positions outside Step must invalidate it.
+	guard spatial.DriftGuard
+	scans int // validity checks that performed the full displacement scan
+	skips int // validity checks answered by the drift bound alone
 }
 
 // EnablePairlist switches the engine's nonbonded evaluation to a Verlet
@@ -30,6 +41,8 @@ func (e *Engine) EnablePairlist(skin float64) {
 		panic("seq: pairlist skin must be positive")
 	}
 	e.plist = &pairlist{skin: skin}
+	e.plist.guard.Limit = skin / 2
+	e.plist.guard.Invalidate()
 	e.fresh = false
 }
 
@@ -42,17 +55,43 @@ func (e *Engine) DisablePairlist() {
 // PairlistRebuilds reports how many times the list was (re)built.
 func (e *Engine) PairlistRebuilds() int { return e.plRebuilds }
 
+// PairlistScans reports how many validity checks had to scan all atom
+// displacements; PairlistSkips reports how many were answered by the
+// accumulated drift bound alone. Together with PairlistRebuilds these
+// characterize the list's steady-state cost.
+func (e *Engine) PairlistScans() int {
+	if e.plist == nil {
+		return 0
+	}
+	return e.plist.scans
+}
+
+// PairlistSkips reports validity checks skipped via the drift bound.
+func (e *Engine) PairlistSkips() int {
+	if e.plist == nil {
+		return 0
+	}
+	return e.plist.skips
+}
+
 // valid reports whether the list still covers all within-cutoff pairs.
 func (l *pairlist) valid(st *topology.State, box vec.V3) bool {
 	if l.refPos == nil {
 		return false
 	}
-	limit2 := (l.skin / 2) * (l.skin / 2)
-	for i, p := range st.Pos {
-		if vec.MinImage(p, l.refPos[i], box).Norm2() > limit2 {
-			return false
-		}
+	if l.guard.CanSkip() {
+		l.skips++
+		return true
 	}
+	l.scans++
+	d2 := spatial.MaxDisplacement2(st.Pos, l.refPos, box)
+	limit := l.guard.Limit
+	if d2 > limit*limit {
+		return false
+	}
+	// The scan measured the true maximum displacement; seed the bound with
+	// it so following steps can skip the scan again.
+	l.guard.Seed(math.Sqrt(d2))
 	return true
 }
 
@@ -85,7 +124,7 @@ func (e *Engine) buildPairlist() {
 		l.pairs = append(l.pairs, pairEntry{i: i, j: j, modified: kind == topology.PairModified})
 	}
 
-	bins := e.grid.Bin(e.St.Pos)
+	bins := e.binner.Bin(e.St.Pos)
 	cellWide := e.grid.Size.X >= listDist && e.grid.Size.Y >= listDist && e.grid.Size.Z >= listDist
 	np := e.grid.NumPatches()
 	for cell := 0; cell < np; cell++ {
@@ -95,14 +134,11 @@ func (e *Engine) buildPairlist() {
 				add(atoms[x], atoms[y])
 			}
 		}
-		neighbors := e.grid.Neighbors(cell)
+		neighbors := e.nbrs[cell]
 		if !cellWide {
-			neighbors = e.grid.Neighbors2(cell)
+			neighbors = e.wideNeighbors(cell)
 		}
 		for _, nb := range neighbors {
-			if nb < cell {
-				continue
-			}
 			for _, i := range atoms {
 				for _, j := range bins[nb] {
 					add(i, j)
@@ -110,25 +146,30 @@ func (e *Engine) buildPairlist() {
 			}
 		}
 	}
+	l.guard.Reset()
 	e.plRebuilds++
 }
 
-// nonbondedFromList evaluates nonbonded forces from the Verlet list.
+// nonbondedFromList evaluates nonbonded forces from the Verlet list
+// through the batched kernel: candidate pairs inside the cutoff stream
+// into the engine's reusable batch, and each full block is evaluated in
+// one NonbondedBatch call.
 func (e *Engine) nonbondedFromList(en *Energies) {
 	cutoff2 := e.FF.Cutoff * e.FF.Cutoff
+	pos, box := e.St.Pos, e.Sys.Box
+	atoms := e.Sys.Atoms
+	b := e.batch
 	for _, p := range e.plist.pairs {
-		d := vec.MinImage(e.St.Pos[p.i], e.St.Pos[p.j], e.Sys.Box)
+		d := vec.MinImage(pos[p.i], pos[p.j], box)
 		r2 := d.Norm2()
 		if r2 >= cutoff2 {
 			continue
 		}
-		ai, aj := &e.Sys.Atoms[p.i], &e.Sys.Atoms[p.j]
-		evdw, eelec, fOverR := e.FF.Nonbonded(ai.Type, aj.Type, ai.Charge, aj.Charge, r2, p.modified)
-		en.VdW += evdw
-		en.Elec += eelec
-		f := d.Scale(fOverR)
-		en.Virial += f.Dot(d)
-		e.forces[p.i] = e.forces[p.i].Add(f)
-		e.forces[p.j] = e.forces[p.j].Sub(f)
+		ai, aj := &atoms[p.i], &atoms[p.j]
+		b.Append(p.i, p.j, ai.Type, aj.Type, ai.Charge, aj.Charge, d.X, d.Y, d.Z, r2, p.modified)
+		if b.Full() {
+			e.flushBatch(en)
+		}
 	}
+	e.flushBatch(en)
 }

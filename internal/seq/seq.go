@@ -8,6 +8,7 @@ package seq
 
 import (
 	"fmt"
+	"math"
 
 	"gonamd/internal/forcefield"
 	"gonamd/internal/spatial"
@@ -52,7 +53,12 @@ type Engine struct {
 	// step (NVT dynamics). Nil gives plain NVE.
 	Thermo thermo.Thermostat
 
-	grid       *spatial.Grid
+	grid   *spatial.Grid
+	binner *spatial.Binner // reusable zero-alloc rebinning
+	nbrs   [][]int32       // per-cell upper-half neighbor cells (nb > cell), precomputed
+	nbrs2  [][]int32       // two-shell variant, built lazily for narrow-cell pairlist builds
+	batch  *forcefield.PairBatch
+
 	forces     []vec.V3
 	cur        Energies
 	fresh      bool // forces correspond to current positions
@@ -73,13 +79,43 @@ func New(sys *topology.System, ff *forcefield.Params, st *topology.State) (*Engi
 	if err != nil {
 		return nil, err
 	}
+	// Precompute each cell's upper-half neighbor list (nb > cell, so every
+	// cell pair is visited once); grid geometry is static, and calling
+	// grid.Neighbors per cell per step was a per-step allocation source.
+	nbrs := make([][]int32, grid.NumPatches())
+	for cell := range nbrs {
+		for _, nb := range grid.Neighbors(cell) {
+			if nb > cell {
+				nbrs[cell] = append(nbrs[cell], int32(nb))
+			}
+		}
+	}
 	return &Engine{
 		Sys:    sys,
 		FF:     ff,
 		St:     st,
 		grid:   grid,
+		binner: spatial.NewBinner(grid),
+		nbrs:   nbrs,
+		batch:  forcefield.NewPairBatch(forcefield.DefaultBatchSize),
 		forces: make([]vec.V3, sys.N()),
 	}, nil
+}
+
+// wideNeighbors returns the two-shell upper-half neighbor list of a cell,
+// built on first use (only narrow-cell pairlist rebuilds need it).
+func (e *Engine) wideNeighbors(cell int) []int32 {
+	if e.nbrs2 == nil {
+		e.nbrs2 = make([][]int32, e.grid.NumPatches())
+		for c := range e.nbrs2 {
+			for _, nb := range e.grid.Neighbors2(c) {
+				if nb > c {
+					e.nbrs2[c] = append(e.nbrs2[c], int32(nb))
+				}
+			}
+		}
+	}
+	return e.nbrs2[cell]
 }
 
 // Forces returns the force array from the last evaluation. The slice is
@@ -129,9 +165,11 @@ func (e *Engine) ComputeForces() Energies {
 // nonbonded evaluates all within-cutoff pair interactions using cell
 // lists. Exclusions are detected during the pairwise loop, as the paper
 // describes ("these pairs must be detected as a part of the normal
-// pairwise force computation").
+// pairwise force computation"). Surviving candidates stream into the
+// engine's reusable SoA batch and are evaluated block-at-a-time by the
+// batched kernel.
 func (e *Engine) nonbonded(en *Energies) {
-	bins := e.grid.Bin(e.St.Pos)
+	bins := e.binner.Bin(e.St.Pos)
 	cutoff2 := e.FF.Cutoff * e.FF.Cutoff
 	np := e.grid.NumPatches()
 
@@ -140,24 +178,25 @@ func (e *Engine) nonbonded(en *Energies) {
 		// Within-cell pairs.
 		for x := 0; x < len(atoms); x++ {
 			for y := x + 1; y < len(atoms); y++ {
-				e.pairInteract(atoms[x], atoms[y], cutoff2, en)
+				e.batchPair(atoms[x], atoms[y], cutoff2, en)
 			}
 		}
-		// Cross-cell pairs, each cell pair visited once.
-		for _, nb := range e.grid.Neighbors(cell) {
-			if nb < cell {
-				continue
-			}
+		// Cross-cell pairs, each cell pair visited once (nbrs holds only
+		// neighbors with id > cell).
+		for _, nb := range e.nbrs[cell] {
 			for _, i := range atoms {
 				for _, j := range bins[nb] {
-					e.pairInteract(i, j, cutoff2, en)
+					e.batchPair(i, j, cutoff2, en)
 				}
 			}
 		}
 	}
+	e.flushBatch(en)
 }
 
-func (e *Engine) pairInteract(i, j int32, cutoff2 float64, en *Energies) {
+// batchPair screens one candidate pair (cutoff, exclusions) and appends
+// survivors to the engine's batch, flushing when the block fills.
+func (e *Engine) batchPair(i, j int32, cutoff2 float64, en *Energies) {
 	d := vec.MinImage(e.St.Pos[i], e.St.Pos[j], e.Sys.Box)
 	r2 := d.Norm2()
 	if r2 >= cutoff2 {
@@ -168,13 +207,32 @@ func (e *Engine) pairInteract(i, j int32, cutoff2 float64, en *Energies) {
 		return
 	}
 	ai, aj := &e.Sys.Atoms[i], &e.Sys.Atoms[j]
-	evdw, eelec, fOverR := e.FF.Nonbonded(ai.Type, aj.Type, ai.Charge, aj.Charge, r2, kind == topology.PairModified)
+	e.batch.Append(i, j, ai.Type, aj.Type, ai.Charge, aj.Charge, d.X, d.Y, d.Z, r2, kind == topology.PairModified)
+	if e.batch.Full() {
+		e.flushBatch(en)
+	}
+}
+
+// flushBatch runs the batched kernel on the pending block and scatters
+// the per-pair forces in append order, so the force accumulation order —
+// and therefore the bit pattern of every force component — is identical
+// to evaluating the pairs one at a time.
+func (e *Engine) flushBatch(en *Energies) {
+	b := e.batch
+	if b.Len() == 0 {
+		return
+	}
+	evdw, eelec, vir := e.FF.NonbondedBatch(b)
 	en.VdW += evdw
 	en.Elec += eelec
-	f := d.Scale(fOverR)
-	en.Virial += f.Dot(d)
-	e.forces[i] = e.forces[i].Add(f)
-	e.forces[j] = e.forces[j].Sub(f)
+	en.Virial += vir
+	for k := 0; k < b.Len(); k++ {
+		f := vec.New(b.Fx[k], b.Fy[k], b.Fz[k])
+		i, j := b.I[k], b.J[k]
+		e.forces[i] = e.forces[i].Add(f)
+		e.forces[j] = e.forces[j].Sub(f)
+	}
+	b.Reset()
 }
 
 func (e *Engine) bonded(en *Energies) {
@@ -224,8 +282,15 @@ func (e *Engine) bonded(en *Energies) {
 
 // Invalidate marks the cached forces stale after positions were modified
 // outside the engine (e.g. a replica-exchange configuration swap); the
-// next Step or Energies call recomputes them.
-func (e *Engine) Invalidate() { e.fresh = false }
+// next Step or Energies call recomputes them. The pairlist drift bound is
+// also invalidated, since the engine cannot bound how far an external
+// edit moved the atoms.
+func (e *Engine) Invalidate() {
+	e.fresh = false
+	if e.plist != nil {
+		e.plist.guard.Invalidate()
+	}
+}
 
 // Kinetic returns the kinetic energy in kcal/mol.
 func (e *Engine) Kinetic() float64 {
@@ -257,11 +322,20 @@ func (e *Engine) Pressure() float64 {
 func (e *Engine) Step(dt float64) {
 	e.ensureForces()
 	pos, vel := e.St.Pos, e.St.Vel
-	// Half kick + drift.
+	// Half kick + drift, tracking the largest speed: each atom's
+	// displacement this step is exactly |v|·dt, which advances the
+	// pairlist drift bound so validity checks can skip their O(N) scan.
+	var maxV2 float64
 	for i := range pos {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
+		if v2 := vel[i].Norm2(); v2 > maxV2 {
+			maxV2 = v2
+		}
 		pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dt)), e.Sys.Box)
+	}
+	if e.plist != nil {
+		e.plist.guard.Advance(math.Sqrt(maxV2) * dt)
 	}
 	// New forces + half kick.
 	e.ComputeForces()
@@ -298,11 +372,12 @@ func (e *Engine) Minimize(steps int, maxMove float64) float64 {
 			}
 			e.St.Pos[i] = vec.Wrap(e.St.Pos[i].Add(d), e.Sys.Box)
 		}
+		e.Invalidate() // minimizer moves are not drift-bound tracked
 		cur := e.ComputeForces().Potential()
 		if cur > prev {
 			// Reject the move and shrink the step.
 			copy(e.St.Pos, saved)
-			e.fresh = false
+			e.Invalidate()
 			gamma *= 0.5
 			if gamma < 1e-12 {
 				break

@@ -355,15 +355,17 @@ func TestPairlistRebuildsOnMotion(t *testing.T) {
 	if eng.PairlistRebuilds() != 1 {
 		t.Fatalf("rebuilds = %d", eng.PairlistRebuilds())
 	}
-	// Move one atom beyond skin/2: next evaluation must rebuild.
+	// Move one atom beyond skin/2: next evaluation must rebuild. External
+	// position edits go through Invalidate, which also voids the drift
+	// bound so the displacement scan actually runs.
 	st.Pos[0] = vec.Wrap(st.Pos[0].Add(vec.New(0.6, 0, 0)), sys.Box)
-	eng.fresh = false
+	eng.Invalidate()
 	eng.ComputeForces()
 	if eng.PairlistRebuilds() != 2 {
 		t.Errorf("rebuilds = %d, want 2 after large displacement", eng.PairlistRebuilds())
 	}
 	// No motion: no rebuild.
-	eng.fresh = false
+	eng.Invalidate()
 	eng.ComputeForces()
 	if eng.PairlistRebuilds() != 2 {
 		t.Errorf("rebuilds = %d, want 2 (no motion)", eng.PairlistRebuilds())
