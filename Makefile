@@ -24,21 +24,24 @@ race: vet
 # The chaos/conformance suite: fault injection, reliable delivery, and
 # checkpoint recovery, run twice (-count=2) to flush out any hidden
 # run-to-run nondeterminism in the seeded fault streams. The forcefield
-# and par packages carry the kernel/block-list differential tests.
+# and par packages carry the kernel/block-list differential tests; the
+# fft and pme packages carry the worker-count/repeat determinism tests
+# behind the bitwise-reproducible PME guarantee.
 chaos:
-	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden' \
+	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden|Determinism|PME' \
 		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
-		./internal/forcefield ./internal/par .
+		./internal/forcefield ./internal/par ./internal/fft ./internal/pme .
 
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
-# benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system, parsed
-# into BENCH_3.json (see README, "Benchmark records"). The step
+# benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —
+# including the full-electrostatics step (BenchmarkStepParPME) — parsed
+# into BENCH_4.json (see README, "Benchmark records"). The step
 # benchmarks share a one-time ~92k-atom build + minimize, so the run
 # takes a few minutes.
 bench:
 	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
 	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_3.json
+	| $(GO) run ./cmd/benchjson -o BENCH_4.json
 
 # One iteration per benchmark: a quick smoke that every benchmark in the
 # tree still runs.

@@ -41,6 +41,10 @@ func main() {
 	trajEvery := flag.Int("trajevery", 10, "write a trajectory frame every N steps")
 	shake := flag.Bool("shake", false, "constrain bonds to hydrogen (sequential engine; allows -dt 2)")
 	skin := flag.Float64("skin", 0, "Verlet list skin, Å (0 = off; seq pairlist / par block lists)")
+	pme := flag.Bool("pme", false, "full electrostatics: smooth particle-mesh Ewald")
+	grid := flag.Float64("grid", 1.0, "PME mesh spacing, Å (mesh dims round up to powers of two)")
+	ewaldBeta := flag.Float64("ewald-beta", 0, "Ewald splitting parameter, 1/Å (0 = auto from cutoff)")
+	mts := flag.Int("mts", 4, "PME impulse-MTS period: reciprocal sum every N steps")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the dynamics loop to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -113,8 +117,18 @@ func main() {
 		Energies() gonamd.Energies
 		Temperature() float64
 	}
+	beta := *ewaldBeta
+	if *pme && beta == 0 {
+		// erfc(β·rc) ≈ 1e-5 at the cutoff: the real-space tail the erfc
+		// kernel discards is negligible.
+		beta = 3.12 / *cutoff
+	}
+
 	var constraints *gonamd.Constraints
 	if *shake {
+		if *pme {
+			log.Fatal("-shake and -pme are mutually exclusive (constrained stepping has no MTS path)")
+		}
 		c, err := gonamd.NewHBondConstraints(sys, ff)
 		if err != nil {
 			log.Fatal(err)
@@ -134,6 +148,11 @@ func main() {
 		if *skin > 0 {
 			e.EnablePairlist(*skin)
 		}
+		if *pme {
+			if err := e.EnableFullElectrostatics(*grid, beta, *mts); err != nil {
+				log.Fatal(err)
+			}
+		}
 		eng = e
 		fmt.Println("engine: sequential")
 	} else {
@@ -147,11 +166,19 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *pme {
+			if err := e.EnableFullElectrostatics(*grid, beta, *mts); err != nil {
+				log.Fatal(err)
+			}
+		}
 		eng = e
 		fmt.Printf("engine: parallel, %d workers, %d tasks\n", e.Workers(), e.NumTasks())
 	}
 	if *skin > 0 {
 		fmt.Printf("verlet lists: skin %.2f Å\n", *skin)
+	}
+	if *pme {
+		fmt.Printf("pme: grid spacing %.2f Å, ewald beta %.3f 1/Å, MTS period %d\n", *grid, beta, *mts)
 	}
 
 	var tw *traj.Writer

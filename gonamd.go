@@ -30,6 +30,7 @@ import (
 	"gonamd/internal/machine"
 	"gonamd/internal/molgen"
 	"gonamd/internal/par"
+	"gonamd/internal/pme"
 	"gonamd/internal/seq"
 	"gonamd/internal/spatial"
 	"gonamd/internal/sysio"
@@ -37,6 +38,7 @@ import (
 	"gonamd/internal/topology"
 	"gonamd/internal/trace"
 	"gonamd/internal/traj"
+	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
 
@@ -84,6 +86,36 @@ type PairBatch = forcefield.PairBatch
 // NewPairBatch allocates a reusable pair batch with the given capacity
 // (forcefield.DefaultBatchSize is the engines' block size).
 var NewPairBatch = forcefield.NewPairBatch
+
+// Full electrostatics: both engines grow an
+// EnableFullElectrostatics(gridSpacing, beta, mtsPeriod) method that
+// switches them to smooth particle-mesh Ewald with impulse multiple
+// timestepping. The building blocks are exported for analysis code and
+// tests.
+type (
+	// PMERecip is the reciprocal-space smooth-PME solver (B-spline
+	// spreading, 3D FFT, influence-function convolution, force gather).
+	PMERecip = pme.Recip
+	// PMESolver bundles the reciprocal solver with the self, background,
+	// and excluded-pair corrections — the slow-force half of PME.
+	PMESolver = pme.Solver
+	// EwaldDirect is the O(N²·K³) conventional Ewald sum the mesh solver
+	// is validated against.
+	EwaldDirect = pme.Direct
+)
+
+// NewPMERecip builds a reciprocal solver with mesh spacing at most
+// gridSpacing Å; NewPMERecipK takes explicit power-of-two mesh dims.
+var (
+	NewPMERecip  = pme.NewRecip
+	NewPMERecipK = pme.NewRecipK
+)
+
+// Coulomb is the electrostatic constant (kcal·Å/mol/e²).
+const Coulomb = units.Coulomb
+
+// MinImage returns the minimum-image displacement a-b in box.
+var MinImage = vec.MinImage
 
 // Cluster simulation types.
 type (

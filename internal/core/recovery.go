@@ -45,6 +45,10 @@ type SimState struct {
 
 	ProxyGot map[int32]map[int]int // keyed by proxy ObjID
 
+	// PencilGot holds the PME pencil progress maps, z-pencils first then
+	// x-pencils (nil when PME is off).
+	PencilGot []map[int]int
+
 	StepEnd  []float64
 	Loads    []float64 // charm measurement database
 	BusyBase []float64
@@ -89,6 +93,12 @@ func (s *Sim) snapshotState(step int) *SimState {
 	for obj, px := range s.proxySt {
 		st.ProxyGot[int32(obj)] = copyGot(px.got)
 	}
+	for _, pen := range s.zPencils {
+		st.PencilGot = append(st.PencilGot, copyGot(pen.got))
+	}
+	for _, pen := range s.xPencils {
+		st.PencilGot = append(st.PencilGot, copyGot(pen.got))
+	}
 	busy, msgs := s.m.PEStats()
 	st.PEBusy, st.PEMsgs = busy, msgs
 	return st
@@ -106,6 +116,11 @@ func (s *Sim) restoreState(st *SimState) {
 	}
 	for obj, got := range st.ProxyGot {
 		s.proxySt[charm.ObjID(obj)].got = copyGot(got)
+	}
+	for i, pen := range append(append([]*pencilState{}, s.zPencils...), s.xPencils...) {
+		if i < len(st.PencilGot) {
+			pen.got = copyGot(st.PencilGot[i])
+		}
 	}
 	s.stepEnd = append(s.stepEnd[:0], st.StepEnd...)
 	s.rt.SetLoads(st.Loads)

@@ -70,6 +70,19 @@ type Config struct {
 	Reliable        bool
 	ReliableTimeout float64
 
+	// PMEGrid enables full electrostatics: the reciprocal mesh has
+	// PMEGrid points per axis (0 disables PME; powers of two match the
+	// real engines' FFT). The mesh work runs on migratable pencil
+	// compute objects — see pme.go.
+	PMEGrid int
+	// PMEMTSPeriod is the impulse-MTS reciprocal period: only steps
+	// divisible by it are reciprocal steps (0 picks 4, the usual
+	// slow-force schedule; 1 evaluates every step).
+	PMEMTSPeriod int
+	// PMEPencils is the pencil-grid side p (p² z-pencils and p²
+	// x-pencils; 0 picks ~√PEs clamped to [2,8]).
+	PMEPencils int
+
 	// CheckpointEvery takes a coordinated snapshot of application state
 	// every so many steps (0 = only at epoch starts); after a PE crash
 	// the sim rolls back to the last snapshot and re-executes.
@@ -92,6 +105,9 @@ func (c *Config) fillDefaults() {
 	if c.MeasureSteps == 0 {
 		c.MeasureSteps = 6
 	}
+	if c.PMEGrid > 0 && c.PMEMTSPeriod == 0 {
+		c.PMEMTSPeriod = 4
+	}
 }
 
 // Result reports one simulation's outcome.
@@ -108,6 +124,12 @@ type Result struct {
 	TotalMsgs          int
 	TotalBytes         int
 	LBStats            []ldb.Stats // per balancing pass, post-assignment
+
+	// PMEComputes is the number of pencil objects (0 when PME is off);
+	// PMEMigrations counts pencil migrations performed by the load
+	// balancer across all passes.
+	PMEComputes   int
+	PMEMigrations int
 
 	// MeasureT0/T1 bound the measured-steps window in virtual time (for
 	// audits and timelines); Trace is non-nil when CollectTrace was set.
@@ -143,6 +165,7 @@ type patchState struct {
 	got           map[int]int
 	proxies       []charm.ObjID
 	locals        []charm.ObjID
+	pencils       []charm.ObjID // z-pencils this patch spreads charge onto
 	integrateTime float64
 	posBytes      int
 }
@@ -193,6 +216,18 @@ type Sim struct {
 	computes   []*computeState
 	proxyByKey map[[2]int]charm.ObjID
 	proxySt    map[charm.ObjID]*proxyState
+
+	// PME pencil decomposition (nil/empty when Config.PMEGrid == 0).
+	ePencilCharge charm.EntryID
+	ePencilFwd    charm.EntryID
+	ePencilBwd    charm.EntryID
+	zPencils      []*pencilState
+	xPencils      []*pencilState
+	zPencilObj    []charm.ObjID
+	xPencilObj    []charm.ObjID
+	pmeP          int
+	pmeBlockBytes int
+	pmeMigrations int
 
 	totalSteps int
 	pauseAt    int
@@ -249,6 +284,12 @@ func NewSim(w *Workload, cfg Config) (*Sim, error) {
 	s.registerEntries()
 	s.placePatches()
 	s.createComputes()
+	if s.pmeOn() {
+		s.registerPMEEntries()
+		if err := s.createPencils(); err != nil {
+			return nil, err
+		}
+	}
 	s.wire()
 	return s, nil
 }
@@ -266,11 +307,20 @@ func (s *Sim) registerEntries() {
 			// (part of the integration method's growth the paper notes).
 			c.Charge(float64(ps.atoms)*s.cfg.Model.PerAtomMsg, trace.CatIntegration)
 			step = m.step
+		case pmeForceMsg:
+			c.Charge(float64(ps.atoms)*s.cfg.Model.PerAtomMsg, trace.CatIntegration)
+			step = m.step
 		case int:
 			step = m
 		}
 		ps.got[step]++
-		if ps.got[step] < ps.expect {
+		need := ps.expect
+		if s.pmeRecipStep(step) {
+			// Reciprocal steps additionally wait for one slow-force
+			// message from each attached z-pencil.
+			need += len(ps.pencils)
+		}
+		if ps.got[step] < need {
 			return
 		}
 		delete(ps.got, step)
@@ -543,6 +593,11 @@ func (s *Sim) sendPositions(c *charm.Ctx, ps *patchState) {
 	for _, comp := range ps.locals {
 		c.Send(comp, s.eNotify, ps.step, 16, prio(ps.step, classPositions))
 	}
+	if s.pmeRecipStep(ps.step) {
+		// Multicast positions and charges to the attached z-pencils for
+		// the reciprocal sum (the PME analogue of proxy delivery).
+		c.Multicast(ps.pencils, s.ePencilCharge, ps.step, ps.posBytes, prio(ps.step, classPositions))
+	}
 }
 
 func (s *Sim) recordStepDone(step int, t float64) {
@@ -616,12 +671,17 @@ func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
 		PatchHome:  s.patchHome,
 		Background: make([]float64, s.cfg.PEs),
 	}
+	pencilObjs := append(append([]charm.ObjID{}, s.zPencilObj...), s.xPencilObj...)
+
 	// Background: everything the PE did that is not compute-object work
 	// (integration, proxies, message handling), per step.
 	computeLoad := make([]float64, s.cfg.PEs)
 	for ci := range s.computes {
 		pe := s.rt.Location(s.computeObj[ci])
 		computeLoad[pe] += loads[s.computeObj[ci]]
+	}
+	for _, obj := range pencilObjs {
+		computeLoad[s.rt.Location(obj)] += loads[obj]
 	}
 	for pe := 0; pe < s.cfg.PEs; pe++ {
 		bg := (busy[pe] - s.busyBase[pe] - computeLoad[pe]) / float64(steps)
@@ -636,6 +696,21 @@ func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
 			Patches:    cs.patches,
 			Migratable: cs.migratable,
 			PE:         s.rt.Location(s.computeObj[ci]),
+		})
+	}
+	// Pencil objects are fully migratable; z-pencils carry their patch
+	// attachments so placement can favor the processors already holding
+	// that charge data.
+	for i, obj := range pencilObjs {
+		var patches []int
+		if i < len(s.zPencils) {
+			patches = s.zPencils[i].patches
+		}
+		prob.Objects = append(prob.Objects, ldb.Object{
+			Load:       loads[obj] / float64(steps),
+			Patches:    patches,
+			Migratable: true,
+			PE:         s.rt.Location(obj),
 		})
 	}
 
@@ -654,6 +729,12 @@ func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
 	for ci := range s.computes {
 		if s.computes[ci].migratable && assign[ci] != s.rt.Location(s.computeObj[ci]) {
 			s.rt.Migrate(s.computeObj[ci], assign[ci])
+		}
+	}
+	for i, obj := range pencilObjs {
+		if pe := assign[len(s.computes)+i]; pe != s.rt.Location(obj) {
+			s.rt.Migrate(obj, pe)
+			s.pmeMigrations++
 		}
 	}
 	s.wire()
@@ -687,17 +768,19 @@ func (s *Sim) Run() *Result {
 	}
 
 	res := &Result{
-		PEs:         cfg.PEs,
-		SeqTime:     cfg.Model.SeqTime(s.w.Counts()),
-		Counts:      s.w.Counts(),
-		NumComputes: len(s.computes),
-		TotalMsgs:   s.m.TotalMsgs,
-		TotalBytes:  s.m.TotalBytes,
-		LBStats:     s.lbStats,
-		Trace:       s.m.Trace,
-		FaultStats:  s.m.Stats,
-		Reliable:    s.rt.Rel,
-		Recoveries:  s.recoveries,
+		PEs:           cfg.PEs,
+		SeqTime:       cfg.Model.SeqTime(s.w.Counts()),
+		Counts:        s.w.Counts(),
+		NumComputes:   len(s.computes),
+		PMEComputes:   len(s.zPencils) + len(s.xPencils),
+		PMEMigrations: s.pmeMigrations,
+		TotalMsgs:     s.m.TotalMsgs,
+		TotalBytes:    s.m.TotalBytes,
+		LBStats:       s.lbStats,
+		Trace:         s.m.Trace,
+		FaultStats:    s.m.Stats,
+		Reliable:      s.rt.Rel,
+		Recoveries:    s.recoveries,
 	}
 	// Measured steps: the last MeasureSteps durations (the first step
 	// after the final pause is excluded via the extra +1 step above).

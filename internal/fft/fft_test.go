@@ -1,0 +1,218 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(re, im []float64, inverse bool) ([]float64, []float64) {
+	n := len(re)
+	outRe := make([]float64, n)
+	outIm := make([]float64, n)
+	sign := -2 * math.Pi
+	if inverse {
+		sign = 2 * math.Pi
+	}
+	for m := 0; m < n; m++ {
+		for k := 0; k < n; k++ {
+			ang := sign * float64(m) * float64(k) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			outRe[m] += re[k]*c - im[k]*s
+			outIm[m] += re[k]*s + im[k]*c
+		}
+	}
+	return outRe, outIm
+}
+
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := naiveDFT(re, im, false)
+		gotRe := append([]float64(nil), re...)
+		gotIm := append([]float64(nil), im...)
+		p.Forward(gotRe, gotIm)
+		for i := range gotRe {
+			if math.Abs(gotRe[i]-wantRe[i]) > 1e-9 || math.Abs(gotIm[i]-wantIm[i]) > 1e-9 {
+				t.Fatalf("n=%d: forward[%d] = (%g, %g), want (%g, %g)",
+					n, i, gotRe[i], gotIm[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 128
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+	}
+	origRe := append([]float64(nil), re...)
+	origIm := append([]float64(nil), im...)
+	p.Forward(re, im)
+	p.Inverse(re, im)
+	for i := range re {
+		if math.Abs(re[i]/float64(n)-origRe[i]) > 1e-12 || math.Abs(im[i]/float64(n)-origIm[i]) > 1e-12 {
+			t.Fatalf("round trip [%d]: (%g, %g)/n vs (%g, %g)", i, re[i], im[i], origRe[i], origIm[i])
+		}
+	}
+}
+
+func TestPlanParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 64
+	p, _ := NewPlan(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	sumX := 0.0
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+		sumX += re[i]*re[i] + im[i]*im[i]
+	}
+	p.Forward(re, im)
+	sumF := 0.0
+	for i := range re {
+		sumF += re[i]*re[i] + im[i]*im[i]
+	}
+	if rel := math.Abs(sumF/float64(n)-sumX) / sumX; rel > 1e-12 {
+		t.Fatalf("Parseval violated: Σ|X|²/n = %g vs Σ|x|² = %g", sumF/float64(n), sumX)
+	}
+}
+
+func TestNewPlanRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Fatalf("NewPlan(%d) accepted", n)
+		}
+	}
+}
+
+// waitPool is a real concurrent pool for the determinism test.
+type waitPool struct{ n int }
+
+func (p waitPool) Workers() int { return p.n }
+func (p waitPool) Run(f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.n)
+	for w := 0; w < p.n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func randomMesh(t *testing.T, k [3]int, seed int64) *Mesh3 {
+	t.Helper()
+	m, err := NewMesh3(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Re {
+		m.Re[i] = rng.NormFloat64()
+		m.Im[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMesh3RoundTrip(t *testing.T) {
+	k := [3]int{8, 16, 4}
+	m := randomMesh(t, k, 3)
+	orig := append([]float64(nil), m.Re...)
+	m.Forward(Serial{})
+	m.Inverse(Serial{})
+	scale := float64(k[0] * k[1] * k[2])
+	for i := range m.Re {
+		if math.Abs(m.Re[i]/scale-orig[i]) > 1e-12 {
+			t.Fatalf("mesh round trip [%d]: %g vs %g", i, m.Re[i]/scale, orig[i])
+		}
+	}
+}
+
+// TestMesh3WorkerDeterminism pins the PME determinism contract at the FFT
+// layer: the 3D transform is bitwise identical for 1, 2, 3, and 8
+// workers, because each pencil is transformed independently.
+func TestMesh3WorkerDeterminism(t *testing.T) {
+	k := [3]int{16, 8, 32}
+	ref := randomMesh(t, k, 5)
+	ref.Forward(Serial{})
+	for _, workers := range []int{2, 3, 8} {
+		m := randomMesh(t, k, 5)
+		m.Forward(waitPool{workers})
+		for i := range m.Re {
+			if m.Re[i] != ref.Re[i] || m.Im[i] != ref.Im[i] {
+				t.Fatalf("workers=%d: mesh[%d] = (%v, %v), serial (%v, %v)",
+					workers, i, m.Re[i], m.Im[i], ref.Re[i], ref.Im[i])
+			}
+		}
+	}
+}
+
+// TestMesh3AgainstNaive cross-checks one small 3D transform against the
+// triple naive DFT.
+func TestMesh3AgainstNaive(t *testing.T) {
+	k := [3]int{4, 2, 8}
+	m := randomMesh(t, k, 9)
+	// Naive 3D DFT.
+	n := k[0] * k[1] * k[2]
+	wantRe := make([]float64, n)
+	wantIm := make([]float64, n)
+	for mx := 0; mx < k[0]; mx++ {
+		for my := 0; my < k[1]; my++ {
+			for mz := 0; mz < k[2]; mz++ {
+				var accRe, accIm float64
+				for x := 0; x < k[0]; x++ {
+					for y := 0; y < k[1]; y++ {
+						for z := 0; z < k[2]; z++ {
+							ang := -2 * math.Pi * (float64(mx*x)/float64(k[0]) +
+								float64(my*y)/float64(k[1]) + float64(mz*z)/float64(k[2]))
+							c, s := math.Cos(ang), math.Sin(ang)
+							idx := m.Idx(x, y, z)
+							accRe += m.Re[idx]*c - m.Im[idx]*s
+							accIm += m.Re[idx]*s + m.Im[idx]*c
+						}
+					}
+				}
+				idx := m.Idx(mx, my, mz)
+				wantRe[idx], wantIm[idx] = accRe, accIm
+			}
+		}
+	}
+	m.Forward(Serial{})
+	for i := range m.Re {
+		if math.Abs(m.Re[i]-wantRe[i]) > 1e-9 || math.Abs(m.Im[i]-wantIm[i]) > 1e-9 {
+			t.Fatalf("mesh[%d] = (%g, %g), want (%g, %g)", i, m.Re[i], m.Im[i], wantRe[i], wantIm[i])
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 16: 16, 17: 32, 100: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

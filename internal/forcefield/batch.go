@@ -90,6 +90,7 @@ func (p *Params) NonbondedBatch(b *PairBatch) (evdw, eelec, virial float64) {
 	pair, pair14 := p.pair, p.pair14
 	nt := p.ntypes
 	scale14 := p.Scale14Elec
+	beta := p.EwaldBeta
 
 	for k := 0; k < n; k++ {
 		x := b.R2[k]
@@ -124,9 +125,17 @@ func (p *Params) NonbondedBatch(b *PairBatch) (evdw, eelec, virial float64) {
 		}
 
 		r := math.Sqrt(x)
-		sh := 1 - x/rc2
-		ee := qq / r * sh * sh
-		dEdxElec := qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+		var ee, dEdxElec float64
+		if beta > 0 {
+			br := beta * r
+			erfc := math.Erfc(br)
+			ee = qq * erfc / r
+			dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)/x + erfc/(2*x*r))
+		} else {
+			sh := 1 - x/rc2
+			ee = qq / r * sh * sh
+			dEdxElec = qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+		}
 
 		fOverR := -2 * (dEdxVdw + dEdxElec)
 		fx := fOverR * b.Dx[k]

@@ -121,3 +121,82 @@ func TestPairBatchReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialEwaldKernel repeats the batch-vs-scalar bitwise
+// comparison with the Ewald real-space electrostatics branch active,
+// and checks the erfc force against a numerical energy derivative.
+func TestDifferentialEwaldKernel(t *testing.T) {
+	p := Standard(12.0).WithEwald(0.32)
+	types := []int32{TypeOW, TypeHW, TypeC, TypeN}
+	rng := xrand.New(41)
+
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + int(rng.Uint64()%300)
+		b := NewPairBatch(n)
+		for k := 0; k < n; k++ {
+			ti := types[rng.Uint64()%uint64(len(types))]
+			tj := types[rng.Uint64()%uint64(len(types))]
+			r := rng.Range(0.8, 13.0) // straddles the cutoff
+			if rng.Uint64()%8 == 0 {
+				r = 0
+			}
+			dx, dy, dz := r, 0.0, 0.0
+			b.Append(int32(2*k), int32(2*k+1), ti, tj, rng.Range(-1, 1), rng.Range(-1, 1),
+				dx, dy, dz, r*r, rng.Uint64()%4 == 0)
+		}
+		gotVdw, gotElec, gotVir := p.NonbondedBatch(b)
+		var wantVdw, wantElec, wantVir float64
+		for k := 0; k < b.Len(); k++ {
+			ev, ee, fOverR := p.Nonbonded(b.Ti[k], b.Tj[k], b.Qi[k], b.Qj[k], b.R2[k], b.Mod[k])
+			wantVdw += ev
+			wantElec += ee
+			fx := fOverR * b.Dx[k]
+			wantVir += fx * b.Dx[k]
+			if b.Fx[k] != fx || b.Fy[k] != fOverR*b.Dy[k] || b.Fz[k] != fOverR*b.Dz[k] {
+				t.Fatalf("trial %d pair %d: Ewald batch force not bitwise identical to scalar", trial, k)
+			}
+		}
+		if relDiff(gotVdw, wantVdw) > 1e-12 || relDiff(gotElec, wantElec) > 1e-12 || relDiff(gotVir, wantVir) > 1e-12 {
+			t.Fatalf("trial %d: Ewald batch sums (%g,%g,%g) != scalar (%g,%g,%g)",
+				trial, gotVdw, gotElec, gotVir, wantVdw, wantElec, wantVir)
+		}
+	}
+
+	// Force vs numerical gradient of the erfc energy.
+	for _, r := range []float64{1.2, 3.0, 7.5, 11.0} {
+		h := 1e-6
+		_, ep, _ := p.Nonbonded(TypeOW, TypeHW, -0.8, 0.4, (r+h)*(r+h), false)
+		_, em, _ := p.Nonbonded(TypeOW, TypeHW, -0.8, 0.4, (r-h)*(r-h), false)
+		evP, _, _ := p.Nonbonded(TypeOW, TypeHW, -0.8, 0.4, (r+h)*(r+h), false)
+		evM, _, _ := p.Nonbonded(TypeOW, TypeHW, -0.8, 0.4, (r-h)*(r-h), false)
+		dEdr := (ep + evP - em - evM) / (2 * h)
+		_, _, fOverR := p.Nonbonded(TypeOW, TypeHW, -0.8, 0.4, r*r, false)
+		want := -dEdr / r
+		if relDiff(fOverR, want) > 1e-5 {
+			t.Fatalf("r=%g: Ewald fOverR %g vs numerical %g", r, fOverR, want)
+		}
+	}
+}
+
+// TestWithEwaldSharesTables checks the shallow copy: the clone flips only
+// EwaldBeta and reuses the validated pair tables, and the receiver keeps
+// plain cutoff electrostatics.
+func TestWithEwaldSharesTables(t *testing.T) {
+	p := Standard(10.0)
+	e := p.WithEwald(0.3)
+	if p.EwaldBeta != 0 {
+		t.Fatal("WithEwald mutated the receiver")
+	}
+	if e.EwaldBeta != 0.3 || e.ntypes != p.ntypes || &e.pair[0] != &p.pair[0] {
+		t.Fatal("WithEwald clone does not share validated pair tables")
+	}
+	// Same vdW, different electrostatics.
+	ev1, ee1, _ := p.Nonbonded(TypeOW, TypeOW, -0.8, -0.8, 9.0, false)
+	ev2, ee2, _ := e.Nonbonded(TypeOW, TypeOW, -0.8, -0.8, 9.0, false)
+	if ev1 != ev2 {
+		t.Fatalf("vdW changed under WithEwald: %g vs %g", ev1, ev2)
+	}
+	if ee1 == ee2 {
+		t.Fatal("electrostatics identical despite Ewald screening")
+	}
+}

@@ -66,6 +66,13 @@ type Params struct {
 	Scale14Elec float64
 	Scale14VdW  float64
 
+	// EwaldBeta switches the electrostatic kernel from the shifted-cutoff
+	// Coulomb form to the Ewald real-space term qq·erfc(βr)/r. Zero (the
+	// default) keeps plain cutoff electrostatics; the engines set it via
+	// WithEwald when full PME electrostatics are enabled, and the
+	// reciprocal-space remainder is handled by internal/pme.
+	EwaldBeta float64
+
 	pair   []pairParam // combined LJ table, len = ntypes²
 	pair14 []pairParam
 	ntypes int
@@ -139,6 +146,17 @@ func (p *Params) buildPairTables() {
 			p.pair14[i*t+j] = pp
 		}
 	}
+}
+
+// WithEwald returns a shallow copy of the parameter set whose
+// electrostatics use the erfc-screened Ewald real-space kernel with the
+// given splitting parameter β (Å⁻¹). The combined LJ pair tables are
+// β-independent and shared with the receiver, so Validate must already
+// have been called and the copy costs no table rebuild.
+func (p *Params) WithEwald(beta float64) *Params {
+	cp := *p
+	cp.EwaldBeta = beta
+	return &cp
 }
 
 func combine(e1, s1, e2, s2 float64) pairParam {

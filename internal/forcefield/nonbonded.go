@@ -56,11 +56,20 @@ func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evd
 		dEdxVdw = dvdx*sw + v*dswdx
 	}
 
-	// Electrostatics: E = qq · x^(-1/2) · (1 - x/rc²)².
+	// Electrostatics: erfc-screened Ewald real-space term when EwaldBeta
+	// is set, otherwise Coulomb with the (1 - x/rc²)² shifting function.
 	r := math.Sqrt(x)
-	sh := 1 - x/rc2
-	eelec = qq / r * sh * sh
-	dEdxElec := qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+	var dEdxElec float64
+	if beta := p.EwaldBeta; beta > 0 {
+		br := beta * r
+		erfc := math.Erfc(br)
+		eelec = qq * erfc / r
+		dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)/x + erfc/(2*x*r))
+	} else {
+		sh := 1 - x/rc2
+		eelec = qq / r * sh * sh
+		dEdxElec = qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+	}
 
 	fOverR = -2 * (dEdxVdw + dEdxElec)
 	return evdw, eelec, fOverR

@@ -73,6 +73,15 @@ type Model struct {
 	// appears when data crosses processors, so it vanishes sequentially.
 	PerAtomMsg float64
 
+	// Full-electrostatics (PME) costs, estimated rather than calibrated:
+	// the paper predates NAMD's PME numbers, so the mesh work is priced
+	// relative to the pair kernel. PerMeshPoint is one mesh point through
+	// one 1D FFT pass (or the convolution); PerAtomSpread is one atom's
+	// order-4 B-spline charge spread or force gather (64 mesh-point
+	// touches plus weight evaluation).
+	PerMeshPoint  float64
+	PerAtomSpread float64
+
 	// CPUFactor is this machine's sequential speed relative to ASCI-Red
 	// (smaller = faster CPU).
 	CPUFactor float64
@@ -93,6 +102,8 @@ func Calibrate(name string, cpuFactor float64, net converse.NetworkModel, apoa C
 		PerBonded:        apoaBondedSec / float64(apoa.Bonded) * cpuFactor,
 		PerAtomIntegrate: apoaIntegrationSec / float64(apoa.Atoms) * cpuFactor,
 		PerAtomMsg:       0.7e-6 * cpuFactor,
+		PerMeshPoint:     perPair * checkCostRatio,
+		PerAtomSpread:    perPair * 8,
 		CPUFactor:        cpuFactor,
 		Net:              net,
 	}

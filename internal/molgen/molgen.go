@@ -84,11 +84,36 @@ func Build(spec Spec) (*topology.System, *topology.State, error) {
 	if sys.N() != spec.TargetAtoms {
 		return nil, nil, fmt.Errorf("molgen: built %d atoms, want %d", sys.N(), spec.TargetAtoms)
 	}
+	neutralize(sys)
 	st := &topology.State{Pos: b.pos, Vel: make([]vec.V3, len(b.pos))}
 	if spec.Temperature > 0 {
 		assignVelocities(sys, st, spec.Temperature, rng)
 	}
 	return sys, st, nil
+}
+
+// neutralize enforces exact charge neutrality, spreading the residual
+// net charge (unpaired counter-ions, template rounding) uniformly over
+// all atoms. Periodic electrostatics demands this: the Ewald/PME
+// reciprocal sum drops the m=0 term on the assumption that a uniform
+// background cancels the net charge, so a charged box would silently
+// shift energies. The sum is compensated (Kahan) so the invariant holds
+// to ~1e-12 e even for million-atom systems.
+func neutralize(sys *topology.System) {
+	var net, comp float64
+	for _, a := range sys.Atoms {
+		y := a.Charge - comp
+		t := net + y
+		comp = (t - net) - y
+		net = t
+	}
+	dq := net / float64(len(sys.Atoms))
+	if dq == 0 {
+		return
+	}
+	for i := range sys.Atoms {
+		sys.Atoms[i].Charge -= dq
+	}
 }
 
 type builder struct {
@@ -283,8 +308,14 @@ func (b *builder) fillWater(waters, ions int) error {
 			b.addWater(c)
 			placedW++
 		} else {
+			// Counter-ions alternate ±1 so they pair up neutral; any
+			// unpaired remainder is absorbed by the neutralize pass.
+			q := 1.0
+			if placedI%2 == 1 {
+				q = -1
+			}
 			b.tb.BeginMolecule()
-			b.tb.AddAtom(forcefield.TypeN, units.MassN, 0)
+			b.tb.AddAtom(forcefield.TypeN, units.MassN, q)
 			b.place(c)
 			placedI++
 		}

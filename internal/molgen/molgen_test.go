@@ -64,14 +64,45 @@ func TestBuildValidatesTopology(t *testing.T) {
 	}
 }
 
+// TestBuildChargeNeutral: the builder guarantees exact neutrality — the
+// invariant the Ewald/PME background term relies on — not just
+// approximate cancellation.
 func TestBuildChargeNeutral(t *testing.T) {
 	sys, _ := buildSmall(t)
 	q := 0.0
 	for _, a := range sys.Atoms {
 		q += a.Charge
 	}
-	if math.Abs(q) > 1e-6 {
-		t.Errorf("net charge %v, want 0", q)
+	if math.Abs(q) > 1e-9 {
+		t.Errorf("net charge %v, want 0 (≤1e-9)", q)
+	}
+}
+
+// TestBuildChargeNeutralWithIons forces an odd counter-ion count (atoms
+// not divisible by 3 after the structured part) and still demands the
+// ≤1e-9 invariant.
+func TestBuildChargeNeutralWithIons(t *testing.T) {
+	for extra := 0; extra < 3; extra++ {
+		spec := Spec{
+			Name:          "neutral",
+			Box:           vec.New(30, 30, 30),
+			TargetAtoms:   1000 + extra,
+			ProteinChains: 1,
+			ChainResidues: 10,
+			Seed:          11,
+			Temperature:   300,
+		}
+		sys, _, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := 0.0
+		for _, a := range sys.Atoms {
+			q += a.Charge
+		}
+		if math.Abs(q) > 1e-9 {
+			t.Errorf("TargetAtoms %d: net charge %v, want 0 (≤1e-9)", spec.TargetAtoms, q)
+		}
 	}
 }
 

@@ -32,3 +32,32 @@ func TestStepZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state Step allocates: %v allocs/step, want 0", allocs)
 	}
 }
+
+// TestStepPMEZeroAllocsRealSpace guards the PME hot path: on steps that
+// do not hit a reciprocal-evaluation boundary (the MTS period here is
+// longer than the measured window), a full-electrostatics dynamics step
+// runs entirely in the erfc real-space path and must not allocate.
+func TestStepPMEZeroAllocsRealSpace(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(7.0)
+	e, err := New(sys, ff, st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RebalanceEvery = 0
+	if err := e.EnableBlockLists(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableFullElectrostatics(1.0, 0.45, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e.Step(0.5)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+		t.Fatalf("steady-state PME real-space Step allocates: %v allocs/step, want 0", allocs)
+	}
+}

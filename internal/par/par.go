@@ -27,6 +27,7 @@ import (
 
 	"gonamd/internal/forcefield"
 	"gonamd/internal/ldb"
+	"gonamd/internal/pme"
 	"gonamd/internal/seq"
 	"gonamd/internal/spatial"
 	"gonamd/internal/thermo"
@@ -114,10 +115,18 @@ type Engine struct {
 	// Persistent worker pool: spawning 2·workers goroutines per force
 	// evaluation was the last per-step allocation source, so a fixed pool
 	// parks on workCh instead. A job k < workers is compute phase for
-	// worker k; k >= workers is reduce phase for worker k-workers.
+	// worker k; k in [workers, 2·workers) is reduce phase for worker
+	// k-workers; k ≥ 2·workers runs pmeFn (a PME mesh phase) for worker
+	// k-2·workers.
 	poolOnce sync.Once
 	workCh   chan int
 	wg       sync.WaitGroup
+	pmeFn    func(w int)
+
+	// pme, when non-nil, holds the full-electrostatics slow-force solver
+	// (see pme.go); the pair kernels then evaluate the erfc real-space
+	// term and Step follows the impulse-MTS reciprocal schedule.
+	pme *pme.Solver
 
 	// Verlet block lists (EnableBlockLists); skin == 0 means disabled.
 	skin       float64
@@ -334,9 +343,10 @@ func (e *Engine) workerLoop() {
 	n := e.Sys.N()
 	chunk := (n + e.workers - 1) / e.workers
 	for job := range e.workCh {
-		if job < e.workers {
+		switch {
+		case job < e.workers:
 			e.computeWorker(job)
-		} else {
+		case job < 2*e.workers:
 			w := job - e.workers
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > n {
@@ -345,6 +355,8 @@ func (e *Engine) workerLoop() {
 			if lo < hi {
 				e.reduceRange(lo, hi)
 			}
+		default:
+			e.pmeFn(job - 2*e.workers)
 		}
 		e.wg.Done()
 	}
@@ -524,11 +536,19 @@ func (e *Engine) Forces() []vec.V3 {
 }
 
 // Energies returns the last evaluation's energies plus current kinetic.
+// With full electrostatics enabled, Elec and Virial include the slow
+// reciprocal-space terms from their latest evaluation (up to mtsPeriod-1
+// steps old mid-cycle, by construction of the impulse scheme).
 func (e *Engine) Energies() seq.Energies {
 	if !e.fresh {
 		e.ComputeForces()
 	}
 	en := e.cur
+	if e.pme != nil {
+		e.ensureRecip()
+		en.Elec += e.pme.SlowEnergy
+		en.Virial += e.pme.SlowVirial
+	}
 	en.Kinetic = e.Kinetic()
 	return en
 }
@@ -541,6 +561,9 @@ func (e *Engine) Invalidate() {
 	e.fresh = false
 	if e.skin > 0 {
 		e.guard.Invalidate()
+	}
+	if e.pme != nil {
+		e.pme.Invalidate()
 	}
 }
 
@@ -559,8 +582,13 @@ func (e *Engine) Temperature() float64 {
 }
 
 // Step advances one velocity-Verlet step of dt femtoseconds, with the
-// force evaluation parallelized across workers.
+// force evaluation parallelized across workers. With full electrostatics
+// enabled the step follows the impulse-MTS schedule in stepPME.
 func (e *Engine) Step(dt float64) {
+	if e.pme != nil {
+		e.stepPME(dt)
+		return
+	}
 	if !e.fresh {
 		e.ComputeForces()
 	}

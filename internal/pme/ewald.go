@@ -1,0 +1,101 @@
+package pme
+
+import (
+	"math"
+
+	"gonamd/internal/units"
+	"gonamd/internal/vec"
+)
+
+// Direct is a conventional Ewald summation with an explicit reciprocal
+// k-vector loop — the O(N²·K³) reference implementation the mesh-based
+// solver is validated against (Madelung constants, differential force
+// tests). It computes the same physical decomposition as the engines'
+// PME path: erfc-screened real space + structure-factor reciprocal sum
+// + self and background corrections.
+type Direct struct {
+	Beta       float64
+	Box        vec.V3
+	KMax       int     // reciprocal images per axis: m ∈ [-KMax, KMax]³
+	RealCutoff float64 // real-space cutoff (≤ half the shortest box edge)
+}
+
+// Energy computes the total Ewald electrostatic energy (kcal/mol) of the
+// charges and accumulates forces into f (which must be zeroed by the
+// caller, or carry forces to add to). No exclusions are applied: every
+// distinct pair interacts.
+func (d *Direct) Energy(pos []vec.V3, q []float64, f []vec.V3) float64 {
+	n := len(pos)
+	total := 0.0
+
+	// Real space: minimum-image pairs within the cutoff.
+	rc2 := d.RealCutoff * d.RealCutoff
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dr := vec.MinImage(pos[i], pos[j], d.Box)
+			r2 := dr.Norm2()
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			qq := units.Coulomb * q[i] * q[j]
+			br := d.Beta * r
+			e := qq * math.Erfc(br) / r
+			total += e
+			// F = qq·[erfc(βr)/r² + 2β/√π·e^{-β²r²}/r]·r̂
+			fr := qq * (math.Erfc(br)/r2 + 2*d.Beta/math.SqrtPi*math.Exp(-br*br)/r) / r
+			fv := dr.Scale(fr)
+			if f != nil {
+				f[i] = f[i].Add(fv)
+				f[j] = f[j].Sub(fv)
+			}
+		}
+	}
+
+	// Reciprocal space: E = 1/(2πV) Σ_{m≠0} e^{-π²m̂²/β²}/m̂² |S(m̂)|²
+	// with S(m̂) = Σ q_j e^{2πi m̂·r_j} and m̂ = (mx/Lx, my/Ly, mz/Lz).
+	vol := d.Box.X * d.Box.Y * d.Box.Z
+	pi2OverBeta2 := math.Pi * math.Pi / (d.Beta * d.Beta)
+	pref := units.Coulomb / (2 * math.Pi * vol)
+	cosArg := make([]float64, n)
+	sinArg := make([]float64, n)
+	for mx := -d.KMax; mx <= d.KMax; mx++ {
+		for my := -d.KMax; my <= d.KMax; my++ {
+			for mz := -d.KMax; mz <= d.KMax; mz++ {
+				if mx == 0 && my == 0 && mz == 0 {
+					continue
+				}
+				hx := float64(mx) / d.Box.X
+				hy := float64(my) / d.Box.Y
+				hz := float64(mz) / d.Box.Z
+				m2 := hx*hx + hy*hy + hz*hz
+				damp := math.Exp(-pi2OverBeta2*m2) / m2
+				if damp < 1e-16 {
+					continue
+				}
+				var sr, si float64
+				for j := 0; j < n; j++ {
+					phi := 2 * math.Pi * (hx*pos[j].X + hy*pos[j].Y + hz*pos[j].Z)
+					c, s := math.Cos(phi), math.Sin(phi)
+					cosArg[j], sinArg[j] = c, s
+					sr += q[j] * c
+					si += q[j] * s
+				}
+				total += pref * damp * (sr*sr + si*si)
+				if f != nil {
+					// F_j = 2/V·damp·q_j·m̂·Im(S̄·e^{iφ_j})·Coulomb
+					fpref := 2 * units.Coulomb / vol * damp
+					for j := 0; j < n; j++ {
+						im := sr*sinArg[j] - si*cosArg[j]
+						g := fpref * q[j] * im
+						f[j] = f[j].Add(vec.New(g*hx, g*hy, g*hz))
+					}
+				}
+			}
+		}
+	}
+
+	total += SelfEnergy(q, d.Beta)
+	total += BackgroundEnergy(q, d.Beta, d.Box)
+	return total
+}

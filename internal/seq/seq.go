@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"gonamd/internal/forcefield"
+	"gonamd/internal/pme"
 	"gonamd/internal/spatial"
 	"gonamd/internal/thermo"
 	"gonamd/internal/topology"
@@ -64,6 +65,11 @@ type Engine struct {
 	fresh      bool // forces correspond to current positions
 	plist      *pairlist
 	plRebuilds int
+
+	// pme, when non-nil, holds the full-electrostatics slow-force solver
+	// (see pme.go): the pair kernels then evaluate the erfc real-space
+	// term and Step follows the impulse-MTS reciprocal schedule.
+	pme *pme.Solver
 }
 
 // New prepares an engine. The force-field cutoff determines the cell
@@ -126,10 +132,18 @@ func (e *Engine) Forces() []vec.V3 {
 }
 
 // Energies returns the energies from the last force evaluation plus the
-// current kinetic energy.
+// current kinetic energy. With full electrostatics enabled, Elec and
+// Virial include the slow reciprocal-space terms from their latest
+// evaluation (up to mtsPeriod-1 steps old mid-cycle, by construction of
+// the impulse scheme).
 func (e *Engine) Energies() Energies {
 	e.ensureForces()
 	en := e.cur
+	if e.pme != nil {
+		e.ensureRecip()
+		en.Elec += e.pme.SlowEnergy
+		en.Virial += e.pme.SlowVirial
+	}
 	en.Kinetic = e.Kinetic()
 	return en
 }
@@ -290,6 +304,9 @@ func (e *Engine) Invalidate() {
 	if e.plist != nil {
 		e.plist.guard.Invalidate()
 	}
+	if e.pme != nil {
+		e.pme.Invalidate()
+	}
 }
 
 // Kinetic returns the kinetic energy in kcal/mol.
@@ -312,14 +329,20 @@ const atmPerKcalMolA3 = 68568.4
 // Pressure returns the instantaneous pressure in atmospheres from the
 // virial equation P·V = N·kB·T + W/3.
 func (e *Engine) Pressure() float64 {
-	e.ensureForces()
+	en := e.Energies()
 	vol := e.Sys.Box.X * e.Sys.Box.Y * e.Sys.Box.Z
 	nkt := float64(e.Sys.N()) * units.Boltzmann * e.Temperature()
-	return (nkt + e.cur.Virial/3) / vol * atmPerKcalMolA3
+	return (nkt + en.Virial/3) / vol * atmPerKcalMolA3
 }
 
 // Step advances the system by one velocity-Verlet step of dt femtoseconds.
+// With full electrostatics enabled the step follows the impulse-MTS
+// schedule in stepPME.
 func (e *Engine) Step(dt float64) {
+	if e.pme != nil {
+		e.stepPME(dt)
+		return
+	}
 	e.ensureForces()
 	pos, vel := e.St.Pos, e.St.Vel
 	// Half kick + drift, tracking the largest speed: each atom's

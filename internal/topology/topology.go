@@ -207,6 +207,24 @@ func (s *System) NumExclusions() (full, modified int) {
 	return
 }
 
+// ForEachExcludedPair calls fn once for every excluded or modified (1-4)
+// pair, with i < j, in deterministic order (ascending i, then ascending
+// j). Ewald-based electrostatics needs this enumeration: the reciprocal
+// sum includes every pair, so excluded and scaled pairs require explicit
+// correction terms.
+func (s *System) ForEachExcludedPair(fn func(i, j int32, modified bool)) {
+	for i := range s.excl {
+		for _, j := range s.excl[i] {
+			fn(int32(i), j, false)
+		}
+	}
+	for i := range s.excl14 {
+		for _, j := range s.excl14[i] {
+			fn(int32(i), j, true)
+		}
+	}
+}
+
 func containsSorted(xs []int32, v int32) bool {
 	lo, hi := 0, len(xs)
 	for lo < hi {

@@ -12,9 +12,9 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenLog builds a small deterministic log exercising every category,
-// including the fault-injection ones (fault, retry, recovery), laid out
-// as two PEs working through a step that suffers a drop, a retry, a
-// crash, and a rollback.
+// including the fault-injection ones (fault, retry, recovery) and the
+// PME mesh work, laid out as two PEs working through a step that suffers
+// a drop, a retry, a crash, and a rollback.
 func goldenLog() *Log {
 	l := NewLog()
 	l.Add(ExecRecord{PE: 0, Obj: 3, Entry: "compute.notify", Start: 0.000, End: 0.020,
@@ -43,6 +43,8 @@ func goldenLog() *Log {
 		Spans: []Span{{Cat: CatComm, Dur: 0.002}}})
 	l.Add(ExecRecord{PE: 1, Obj: 0, Entry: "ensemble.exchange", Start: 0.065, End: 0.070,
 		Spans: []Span{{Cat: CatExchange, Dur: 0.005}}})
+	l.Add(ExecRecord{PE: 0, Obj: 5, Entry: "pme.charges", Start: 0.067, End: 0.072,
+		Spans: []Span{{Cat: CatPME, Dur: 0.005}}})
 	l.Add(ExecRecord{PE: 1, Obj: -1, Entry: "misc", Start: 0.070, End: 0.072,
 		Spans: []Span{{Cat: CatOther, Dur: 0.002}}})
 	return l
@@ -91,10 +93,11 @@ func TestGoldenJSON(t *testing.T) {
 }
 
 // TestGoldenTimeline pins the timeline rendering, which must show the
-// retry (T) and recovery (V) letters introduced with fault injection.
+// retry (T) and recovery (V) letters introduced with fault injection and
+// the PME letter (P).
 func TestGoldenTimeline(t *testing.T) {
 	out := goldenLog().Timeline(TimelineOptions{PEs: []int32{0, 1}, T0: 0, T1: 0.08, Width: 80})
-	for _, letter := range []string{"T", "V"} {
+	for _, letter := range []string{"T", "V", "P"} {
 		if !strings.Contains(out, letter) {
 			t.Errorf("timeline missing category letter %q:\n%s", letter, out)
 		}

@@ -25,6 +25,7 @@ const (
 	CatComm                 // message packing/allocation/send overhead
 	CatRecv                 // message receive overhead
 	CatExchange             // replica-exchange decision and configuration swap
+	CatPME                  // particle-mesh Ewald reciprocal work (spread, FFT, convolution, gather)
 	CatFault                // injected fault (drop/duplicate/delay/reorder/crash)
 	CatRetry                // reliable-delivery protocol: acks, retransmissions
 	CatRecovery             // restart and checkpoint-rollback work
@@ -46,6 +47,8 @@ func (c Category) String() string {
 		return "recv"
 	case CatExchange:
 		return "exchange"
+	case CatPME:
+		return "pme"
 	case CatFault:
 		return "fault"
 	case CatRetry:
@@ -314,8 +317,8 @@ type TimelineOptions struct {
 // Timeline renders an "Upshot-style" per-processor timeline (Figures 3-4):
 // one row per PE, one character per time slice, with the dominant
 // category's letter in busy slices (N nonbonded, B bonded, I integration,
-// C comm, R recv, X exchange, F fault, T retry, V recovery, o other) and
-// '.' when idle.
+// C comm, R recv, X exchange, P pme, F fault, T retry, V recovery,
+// o other) and '.' when idle.
 func (l *Log) Timeline(opt TimelineOptions) string {
 	if opt.Width <= 0 {
 		opt.Width = 100
@@ -327,7 +330,7 @@ func (l *Log) Timeline(opt TimelineOptions) string {
 	slice := width / float64(opt.Width)
 	letters := map[Category]byte{
 		CatNonbonded: 'N', CatBonded: 'B', CatIntegration: 'I',
-		CatComm: 'C', CatRecv: 'R', CatExchange: 'X',
+		CatComm: 'C', CatRecv: 'R', CatExchange: 'X', CatPME: 'P',
 		CatFault: 'F', CatRetry: 'T', CatRecovery: 'V', CatOther: 'o',
 	}
 	var b strings.Builder

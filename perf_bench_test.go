@@ -95,6 +95,34 @@ func BenchmarkStepParBaseline(b *testing.B) {
 	reportSteps(b)
 }
 
+// BenchmarkStepParPME is the full-electrostatics configuration: the same
+// batched pipeline with the erfc real-space kernel plus the reciprocal
+// mesh sum (smooth PME on the worker pool) amortized over a 4-step
+// impulse-MTS cycle.
+func BenchmarkStepParPME(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.RebalanceEvery = 0
+	if err := eng.EnableBlockLists(benchSkin); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.EnableFullElectrostatics(1.0, 3.12/benchCutoff, 4); err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	eng.RecipForces() // prime the reciprocal solver's mesh and spline caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
 // BenchmarkStepSeq is the sequential engine with its Verlet pairlist on
 // the same system, for the single-processor baseline of the scaling
 // story.
