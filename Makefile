@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos bench bench-all ci
+.PHONY: all vet build test race chaos bench bench-all profile ci
 
 all: vet build test
 
@@ -30,7 +30,7 @@ race: vet
 chaos:
 	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden|Determinism|PME' \
 		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
-		./internal/forcefield ./internal/par ./internal/fft ./internal/pme .
+		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections .
 
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
 # benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —
@@ -47,5 +47,14 @@ bench:
 # tree still runs.
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=30m ./...
+
+# Projections profile of a traced benchmark run: a short mdrun with the
+# parallel pipeline and a trace attached, analyzed into PROFILE.json
+# (versioned gonamd-projections schema) plus the text summary on stdout.
+# Rides alongside the BENCH_4.json artifacts from `make bench`.
+profile: build
+	$(GO) run ./cmd/mdrun -side 24 -steps 50 -workers 4 -skin 1.5 -trace PROFILE.trace.jsonl -profile
+	$(GO) run ./cmd/projections -json PROFILE.trace.jsonl > PROFILE.json
+	@echo "wrote PROFILE.trace.jsonl and PROFILE.json"
 
 ci: vet build race

@@ -24,12 +24,14 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-6); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (1-4); 0 = all")
 	summary := flag.Int("summary", 0, "print a summary profile for N PEs")
+	traceOut := flag.String("trace", "", "write the raw ApoA-I DES trace (JSON lines) here, for cmd/projections")
+	tracePEs := flag.Int("trace-pes", 16, "PE count for the -trace run")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
 	baselines := flag.Bool("baselines", false, "print the decomposition scalability comparison (paper §3)")
 	flag.Parse()
 
 	start := time.Now()
-	all := *table == 0 && *figure == 0 && *summary == 0 && !*ablations && !*baselines
+	all := *table == 0 && *figure == 0 && *summary == 0 && *traceOut == "" && !*ablations && !*baselines
 
 	runTable := func(n int) {
 		switch n {
@@ -103,6 +105,18 @@ func main() {
 		s, err := bench.SummaryProfile(*summary)
 		check(err)
 		fmt.Println(s)
+	}
+	if *traceOut != "" {
+		l, err := bench.TracedRun(*tracePEs)
+		check(err)
+		f, err := os.Create(*traceOut)
+		check(err)
+		err = l.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		check(err)
+		fmt.Printf("trace: %s (%d records, ApoA-I on %d PEs)\n", *traceOut, len(l.Records), *tracePEs)
 	}
 	if *ablations {
 		peCounts := []int{256, 1024, 2048}

@@ -55,14 +55,16 @@ func main() {
 	drop := flag.Float64("drop", 0, "machine: message drop probability")
 	dup := flag.Float64("dup", 0, "machine: message duplication probability")
 	delay := flag.Float64("delay", 0, "machine: message delay probability")
+
+	profile := flag.Bool("profile", false, "print a projections summary of the faulty run's trace")
 	flag.Parse()
 
 	ok := false
 	switch *mode {
 	case "ensemble":
-		ok = runEnsemble(*seed, *crashAt, *steps, *replicas, *side, *exchange, *ckptEvery)
+		ok = runEnsemble(*seed, *crashAt, *steps, *replicas, *side, *exchange, *ckptEvery, *profile)
 	case "machine":
-		ok = runMachine(*seed, *pes, *drop, *dup, *delay)
+		ok = runMachine(*seed, *pes, *drop, *dup, *delay, *profile)
 	default:
 		log.Fatalf("unknown mode %q (want ensemble or machine)", *mode)
 	}
@@ -76,7 +78,7 @@ func main() {
 // runEnsemble kills a replica-exchange run at crashAt, resumes it from
 // its last checkpoint, and compares the final snapshot bit-for-bit
 // against an unfailed reference run.
-func runEnsemble(seed uint64, crashAt int64, steps, replicas int, side float64, exchange, ckptEvery int) bool {
+func runEnsemble(seed uint64, crashAt int64, steps, replicas int, side float64, exchange, ckptEvery int, profile bool) bool {
 	if crashAt <= int64(ckptEvery) || crashAt >= int64(steps) {
 		log.Fatalf("-crash-at %d must lie in (%d, %d): the first checkpoint must exist before the crash",
 			crashAt, ckptEvery, steps)
@@ -129,6 +131,9 @@ func runEnsemble(seed uint64, crashAt int64, steps, replicas int, side float64, 
 
 	// Recovery: a fresh process resumes from the checkpoint file.
 	cfg.FailAt = 0
+	if profile {
+		cfg.Trace = gonamd.NewTraceLog()
+	}
 	recovered, err := gonamd.NewEnsemble(sys, ff, st, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -165,12 +170,16 @@ func runEnsemble(seed uint64, crashAt int64, steps, replicas int, side float64, 
 	}
 	att, acc := recovered.ExchangeCounts()
 	fmt.Printf("final state bit-identical to unfailed run (exchanges %v of %v accepted)\n", acc, att)
+	if profile && cfg.Trace != nil {
+		fmt.Println()
+		gonamd.AnalyzeTrace(cfg.Trace, gonamd.ProjectionsOptions{PEs: replicas}).WriteText(os.Stdout)
+	}
 	return true
 }
 
 // runMachine runs a cluster simulation under a fault plan with reliable
 // delivery and checkpoint rollback, against a fault-free reference.
-func runMachine(seed uint64, pes int, drop, dup, delay float64) bool {
+func runMachine(seed uint64, pes int, drop, dup, delay float64, profile bool) bool {
 	sys, st, err := gonamd.BuildSystem(gonamd.Spec{
 		Name: "chaos", Box: vec.New(39, 39, 39), TargetAtoms: 3000,
 		ProteinChains: 1, ChainResidues: 25, LipidCount: 4, LipidTailLen: 8,
@@ -188,7 +197,7 @@ func runMachine(seed uint64, pes int, drop, dup, delay float64) bool {
 		log.Fatal(err)
 	}
 	model := gonamd.CalibrateMachine("chaos-ascired", 1.0, gonamd.ASCIRed().Net, w.Counts())
-	cfg := gonamd.ClusterConfig{PEs: pes, Model: model, SplitSelf: true}
+	cfg := gonamd.ClusterConfig{PEs: pes, Model: model, SplitSelf: true, CollectTrace: profile}
 
 	// Fault-free reference with the identical recovery machinery (the
 	// reliable protocol's acks cost time, so only a like-for-like run
@@ -249,6 +258,12 @@ func runMachine(seed uint64, pes int, drop, dup, delay float64) bool {
 			return false
 		}
 		fmt.Println("run completed under message faults with no abandoned sends")
+	}
+	if profile && res.Trace != nil {
+		fmt.Println()
+		gonamd.AnalyzeTrace(res.Trace, gonamd.ProjectionsOptions{PEs: pes}).WriteText(os.Stdout)
+		fmt.Println()
+		fmt.Print(gonamd.LBReport(res.LBStats))
 	}
 	return true
 }

@@ -43,6 +43,7 @@ func main() {
 	ckptEvery := flag.Int("ckptevery", 0, "checkpoint every N steps (0 = only at end)")
 	resume := flag.Bool("resume", false, "resume from -ckpt before running")
 	tracePath := flag.String("trace", "", "write the Projections-style event log (JSON lines) here")
+	profile := flag.Bool("profile", false, "print a projections summary of the ensemble trace at exit")
 	flag.Parse()
 
 	var sys *gonamd.System
@@ -185,5 +186,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace: %s (%d records)\n", *tracePath, len(tlog.Records))
+	}
+	if *profile {
+		fmt.Println()
+		gonamd.AnalyzeTrace(tlog, gonamd.ProjectionsOptions{PEs: *replicas}).WriteText(os.Stdout)
 	}
 }

@@ -47,6 +47,8 @@ func main() {
 	mts := flag.Int("mts", 4, "PME impulse-MTS period: reciprocal sum every N steps")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the dynamics loop to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	profile := flag.Bool("profile", false, "print a projections summary of the run's phase trace at exit")
+	tracePath := flag.String("trace", "", "write the phase trace as JSON Lines to this file (analyze with cmd/projections)")
 	flag.Parse()
 
 	var sys *gonamd.System
@@ -112,64 +114,53 @@ func main() {
 		fmt.Printf("thermostat: %s at %.0f K\n", th.Name(), *targetT)
 	}
 
-	type stepper interface {
-		Step(float64)
-		Energies() gonamd.Energies
-		Temperature() float64
-	}
-	beta := *ewaldBeta
-	if *pme && beta == 0 {
-		// erfc(β·rc) ≈ 1e-5 at the cutoff: the real-space tail the erfc
-		// kernel discards is negligible.
-		beta = 3.12 / *cutoff
-	}
-
-	var constraints *gonamd.Constraints
 	if *shake {
-		if *pme {
-			log.Fatal("-shake and -pme are mutually exclusive (constrained stepping has no MTS path)")
-		}
-		c, err := gonamd.NewHBondConstraints(sys, ff)
-		if err != nil {
-			log.Fatal(err)
-		}
-		constraints = c
 		*workers = -1 // constrained stepping runs on the sequential engine
-		fmt.Printf("SHAKE/RATTLE: %d constrained bonds\n", c.Count())
 	}
 
-	var eng stepper
+	// Option validation — skin/grid/MTS ranges and the -shake/-pme
+	// exclusion — lives in the options layer; construction errors carry
+	// the explanation.
+	var tlog *gonamd.TraceLog
+	if *profile || *tracePath != "" {
+		tlog = gonamd.NewTraceLog()
+	}
+	var opts []gonamd.Option
+	if th != nil {
+		opts = append(opts, gonamd.WithThermostat(th))
+	}
+	if *pme {
+		opts = append(opts, gonamd.WithPME(*grid, *ewaldBeta, *mts))
+	}
+	if tlog != nil {
+		opts = append(opts, gonamd.WithTrace(tlog))
+	}
+
+	var eng gonamd.Engine
+	var constraints *gonamd.Constraints
 	if *workers < 0 {
-		e, err := gonamd.NewSequential(sys, ff, st)
+		if *skin > 0 {
+			opts = append(opts, gonamd.WithPairlist(*skin))
+		}
+		if *shake {
+			opts = append(opts, gonamd.WithHBondConstraints())
+		}
+		e, err := gonamd.NewSequential(sys, ff, st, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e.Thermo = th
-		if *skin > 0 {
-			e.EnablePairlist(*skin)
-		}
-		if *pme {
-			if err := e.EnableFullElectrostatics(*grid, beta, *mts); err != nil {
-				log.Fatal(err)
-			}
+		if constraints = e.Constraints(); constraints != nil {
+			fmt.Printf("SHAKE/RATTLE: %d constrained bonds\n", constraints.Count())
 		}
 		eng = e
 		fmt.Println("engine: sequential")
 	} else {
-		e, err := gonamd.NewParallel(sys, ff, st, *workers)
+		if *skin > 0 {
+			opts = append(opts, gonamd.WithBlockLists(*skin))
+		}
+		e, err := gonamd.NewParallel(sys, ff, st, *workers, opts...)
 		if err != nil {
 			log.Fatal(err)
-		}
-		e.Thermo = th
-		if *skin > 0 {
-			if err := e.EnableBlockLists(*skin); err != nil {
-				log.Fatal(err)
-			}
-		}
-		if *pme {
-			if err := e.EnableFullElectrostatics(*grid, beta, *mts); err != nil {
-				log.Fatal(err)
-			}
 		}
 		eng = e
 		fmt.Printf("engine: parallel, %d workers, %d tasks\n", e.Workers(), e.NumTasks())
@@ -178,6 +169,10 @@ func main() {
 		fmt.Printf("verlet lists: skin %.2f Å\n", *skin)
 	}
 	if *pme {
+		beta := *ewaldBeta
+		if beta == 0 {
+			beta = 3.12 / *cutoff
+		}
 		fmt.Printf("pme: grid spacing %.2f Å, ewald beta %.3f 1/Å, MTS period %d\n", *grid, beta, *mts)
 	}
 
@@ -264,4 +259,23 @@ func main() {
 	el := time.Since(start)
 	fmt.Printf("%d steps in %v (%.2f ms/step)\n", *steps, el.Round(time.Millisecond),
 		float64(el.Microseconds())/1e3/float64(*steps))
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tlog.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing trace %s: %v", *tracePath, err)
+		}
+		fmt.Printf("wrote %d trace records to %s\n", len(tlog.Records), *tracePath)
+	}
+	if *profile {
+		fmt.Println()
+		gonamd.AnalyzeTrace(tlog, gonamd.ProjectionsOptions{}).WriteText(os.Stdout)
+	}
 }

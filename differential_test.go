@@ -48,11 +48,10 @@ func TestDifferentialForcesAcrossEngines(t *testing.T) {
 	}
 
 	for _, skin := range []float64{1.0, 1.5} {
-		listed, err := gonamd.NewSequential(sys, ff, st.Clone())
+		listed, err := gonamd.NewSequential(sys, ff, st.Clone(), gonamd.WithPairlist(skin))
 		if err != nil {
 			t.Fatal(err)
 		}
-		listed.EnablePairlist(skin)
 		check("seq+pairlist", listed.ComputeForces(), listed.Forces())
 	}
 
@@ -63,11 +62,8 @@ func TestDifferentialForcesAcrossEngines(t *testing.T) {
 		}
 		check("parallel", par.ComputeForces(), par.Forces())
 
-		blocked, err := gonamd.NewParallel(sys, ff, st.Clone(), workers)
+		blocked, err := gonamd.NewParallel(sys, ff, st.Clone(), workers, gonamd.WithBlockLists(1.5))
 		if err != nil {
-			t.Fatal(err)
-		}
-		if err := blocked.EnableBlockLists(1.5); err != nil {
 			t.Fatal(err)
 		}
 		check("parallel+blocklists", blocked.ComputeForces(), blocked.Forces())
@@ -105,11 +101,10 @@ func TestDifferentialTrajectories(t *testing.T) {
 	}
 
 	listedSt := st.Clone()
-	listed, err := gonamd.NewSequential(sys, ff, listedSt)
+	listed, err := gonamd.NewSequential(sys, ff, listedSt, gonamd.WithPairlist(1.5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	listed.EnablePairlist(1.5)
 	listed.Run(steps, dt)
 	compare("seq+pairlist", listedSt.Pos, 1e-6)
 
@@ -125,11 +120,8 @@ func TestDifferentialTrajectories(t *testing.T) {
 		compare("parallel", parSt.Pos, 1e-6)
 
 		blockedSt := st.Clone()
-		blocked, err := gonamd.NewParallel(sys, ff, blockedSt, workers)
+		blocked, err := gonamd.NewParallel(sys, ff, blockedSt, workers, gonamd.WithBlockLists(1.5))
 		if err != nil {
-			t.Fatal(err)
-		}
-		if err := blocked.EnableBlockLists(1.5); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < steps; i++ {
@@ -148,14 +140,13 @@ func TestParallelBitwiseDeterminism(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		run := func(blockLists bool) *gonamd.State {
 			parSt := st.Clone()
-			par, err := gonamd.NewParallel(sys, ff, parSt, workers)
+			var opts []gonamd.Option
+			if blockLists {
+				opts = append(opts, gonamd.WithBlockLists(1.5))
+			}
+			par, err := gonamd.NewParallel(sys, ff, parSt, workers, opts...)
 			if err != nil {
 				t.Fatal(err)
-			}
-			if blockLists {
-				if err := par.EnableBlockLists(1.5); err != nil {
-					t.Fatal(err)
-				}
 			}
 			for i := 0; i < steps; i++ {
 				par.Step(dt)

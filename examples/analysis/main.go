@@ -22,12 +22,11 @@ func main() {
 	}
 	ff := gonamd.StandardForceField(7.0)
 
-	eng, err := gonamd.NewSequential(sys, ff, st)
+	eng, err := gonamd.NewSequential(sys, ff, st, gonamd.WithPairlist(1.5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	eng.Minimize(200, 0.2)
-	eng.EnablePairlist(1.5)
 
 	var buf bytes.Buffer
 	w, err := gonamd.NewTrajWriter(&buf, sys.N(), sys.Box)

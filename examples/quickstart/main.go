@@ -33,8 +33,11 @@ func main() {
 	after := minimizer.Minimize(200, 0.2)
 	fmt.Printf("minimized: %.1f -> %.1f kcal/mol\n", before, after)
 
-	// Run NVE dynamics on every core.
-	eng, err := gonamd.NewParallel(sys, ff, st, 0)
+	// Run NVE dynamics on every core, with cached Verlet block lists and
+	// a Projections-style trace attached.
+	tlog := gonamd.NewTraceLog()
+	eng, err := gonamd.NewParallel(sys, ff, st, 0,
+		gonamd.WithBlockLists(1.5), gonamd.WithTrace(tlog))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,4 +54,11 @@ func main() {
 	fmt.Printf("100 steps in %v on %d cores (%.1f ms/step)\n",
 		elapsed.Round(time.Millisecond), runtime.NumCPU(),
 		float64(elapsed.Milliseconds())/100)
+
+	// Where did the time go? The trace feeds the projections analyzer.
+	rep := gonamd.AnalyzeTrace(tlog, gonamd.ProjectionsOptions{})
+	fmt.Printf("\nutilization %.1f%% over %d PEs; per-category profile:\n", rep.Utilization*100, rep.PEs)
+	for _, c := range rep.Categories {
+		fmt.Printf("  %-12s %8.3fs  %5.1f%%\n", c.Category, c.Seconds, c.PctBusy)
+	}
 }

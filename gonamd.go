@@ -27,10 +27,12 @@ import (
 	"gonamd/internal/core"
 	"gonamd/internal/ensemble"
 	"gonamd/internal/forcefield"
+	"gonamd/internal/ldb"
 	"gonamd/internal/machine"
 	"gonamd/internal/molgen"
 	"gonamd/internal/par"
 	"gonamd/internal/pme"
+	"gonamd/internal/projections"
 	"gonamd/internal/seq"
 	"gonamd/internal/spatial"
 	"gonamd/internal/sysio"
@@ -67,15 +69,14 @@ type (
 	Grid = spatial.Grid
 )
 
-// Engines.
+// Engines. Both satisfy the Engine interface and are configured at
+// construction with functional options: NewSequential(sys, ff, st,
+// WithPairlist(skin)), NewParallel(sys, ff, st, workers,
+// WithBlockLists(skin), WithPME(grid, beta, mts), WithTrace(log)), etc.
 type (
-	// Sequential is the single-threaded reference engine. Call
-	// EnablePairlist(skin) to switch its nonbonded path to a
-	// Verlet pair list with the given skin (Å).
+	// Sequential is the single-threaded reference engine.
 	Sequential = seq.Engine
-	// Parallel is the shared-memory goroutine engine. Call
-	// EnableBlockLists(skin) to cache per-task Verlet block lists,
-	// rebuilt only when an atom drifts beyond skin/2.
+	// Parallel is the shared-memory goroutine engine.
 	Parallel = par.Engine
 )
 
@@ -151,17 +152,6 @@ func BuildSystem(spec Spec) (*System, *State, error) { return molgen.Build(spec)
 // StandardForceField returns the CHARMM-style parameter set used by the
 // synthetic systems, with the given cutoff (Å).
 func StandardForceField(cutoff float64) *ForceField { return forcefield.Standard(cutoff) }
-
-// NewSequential creates the single-threaded reference engine.
-func NewSequential(sys *System, ff *ForceField, st *State) (*Sequential, error) {
-	return seq.New(sys, ff, st)
-}
-
-// NewParallel creates the shared-memory parallel engine with the given
-// number of goroutine workers (0 = GOMAXPROCS).
-func NewParallel(sys *System, ff *ForceField, st *State, workers int) (*Parallel, error) {
-	return par.New(sys, ff, st, workers)
-}
 
 // NewGrid divides a box into cutoff-sized patches.
 func NewGrid(sys *System, cutoff float64) (*Grid, error) {
@@ -297,6 +287,37 @@ var (
 	LoadCheckpoint     = ckpt.Load
 	LoadCheckpointFile = ckpt.LoadFile
 	SaveCheckpointFile = ckpt.SaveFile
+)
+
+// Performance analysis (internal/projections): streaming Projections-
+// style analysis over trace logs — per-category time profiles that sum
+// exactly to recorded busy time, per-PE utilization, grainsize
+// histograms, and step-time series, as text tables, versioned JSON, and
+// ASCII utilization charts.
+type (
+	// ProjectionsReport is a complete analysis of one trace.
+	ProjectionsReport = projections.Report
+	// ProjectionsOptions controls analysis (PE count override, histogram
+	// bins, entry table size, step series retention).
+	ProjectionsOptions = projections.Options
+	// ProjectionsAnalyzer consumes execution records one at a time, for
+	// traces too large to materialize.
+	ProjectionsAnalyzer = projections.Analyzer
+	// LoadBalanceStats is one balancing pass's evaluation (max/avg load,
+	// imbalance, proxy count), as recorded in ClusterResult.LBStats.
+	LoadBalanceStats = ldb.Stats
+)
+
+// AnalyzeTrace analyzes an in-memory trace log; AnalyzeTraceReader
+// streams a JSONL trace file (as written by TraceLog.WriteJSON) without
+// materializing it; LBReport formats balancing passes as a
+// before/after table; UtilizationGantt renders the utilization-vs-time
+// ASCII chart of the paper's Figures 5–6.
+var (
+	AnalyzeTrace       = projections.Analyze
+	AnalyzeTraceReader = projections.AnalyzeReader
+	LBReport           = projections.LBReport
+	UtilizationGantt   = projections.UtilizationGantt
 )
 
 // Machine models, calibrated from the paper's Table 1 using the ApoA-I

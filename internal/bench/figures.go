@@ -154,22 +154,32 @@ func FormatHistogram(title string, h *trace.Histogram) string {
 	return b.String()
 }
 
-// SummaryProfile returns the per-entry summary profile of a short traced
-// run (the §4.1 "second level of instrumentation").
-func SummaryProfile(pes int) (string, error) {
+// TracedRun runs the standard ApoA-I simulation on pes PEs with trace
+// collection and returns the raw execution-record log (analyze with
+// internal/projections or save as JSONL for cmd/projections).
+func TracedRun(pes int) (*trace.Log, error) {
 	w, err := ApoA1Workload()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	model := machine.ASCIRed()
 	cfg := StdConfig(model, pes)
 	cfg.CollectTrace = true
 	sim, err := core.NewSim(w, cfg)
 	if err != nil {
+		return nil, err
+	}
+	return sim.Run().Trace, nil
+}
+
+// SummaryProfile returns the per-entry summary profile of a short traced
+// run (the §4.1 "second level of instrumentation").
+func SummaryProfile(pes int) (string, error) {
+	l, err := TracedRun(pes)
+	if err != nil {
 		return "", err
 	}
-	res := sim.Run()
-	sums := res.Trace.SummaryByEntry()
+	sums := l.SummaryByEntry()
 	sort.Slice(sums, func(i, j int) bool { return sums[i].Total > sums[j].Total })
 	var b strings.Builder
 	fmt.Fprintf(&b, "summary profile, ApoA-I on %d PEs (entire run)\n", pes)

@@ -767,6 +767,15 @@ func (s *Sim) Run() *Result {
 		s.runEpoch(s.totalSteps)
 	}
 
+	// Zero-duration "step" markers at the virtual step boundaries let the
+	// projections analyzer derive the step-time series from the same trace
+	// the execution records live in.
+	if s.m.Trace.Enabled() {
+		for step, t := range s.stepEnd {
+			s.m.Trace.Add(trace.ExecRecord{PE: 0, Obj: int32(step), Entry: "step", Start: t, End: t})
+		}
+	}
+
 	res := &Result{
 		PEs:           cfg.PEs,
 		SeqTime:       cfg.Model.SeqTime(s.w.Counts()),

@@ -5,6 +5,7 @@ import (
 
 	"gonamd/internal/forcefield"
 	"gonamd/internal/molgen"
+	"gonamd/internal/trace"
 )
 
 // TestStepZeroAllocs guards the steady-state hot path: once the block
@@ -30,6 +31,38 @@ func TestStepZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
 		t.Fatalf("steady-state Step allocates: %v allocs/step, want 0", allocs)
+	}
+}
+
+// TestStepZeroAllocsTraced guards the instrumentation: with a trace log
+// attached, the steady-state step must still not allocate. The recorder
+// pre-reserves its record slice and span arena, so per-step emission
+// (per-worker phase records, reduce, integrate, step marker) reuses that
+// capacity.
+func TestStepZeroAllocsTraced(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(7.0)
+	e, err := New(sys, ff, st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RebalanceEvery = 0
+	if err := e.EnableBlockLists(1.5); err != nil {
+		t.Fatal(err)
+	}
+	l := trace.NewLog()
+	e.SetTrace(l)
+	for i := 0; i < 5; i++ {
+		e.Step(0.5)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+		t.Fatalf("traced steady-state Step allocates: %v allocs/step, want 0", allocs)
+	}
+	if len(l.Records) == 0 {
+		t.Fatal("trace recorded nothing")
 	}
 }
 

@@ -42,6 +42,10 @@ func unpackPair(pk uint64) (i, j int32, modified bool) {
 // is rebuilt with cells at least cutoff+skin wide — adjacent-cell task
 // coverage must span the list distance, not just the cutoff — and the
 // task decomposition is rebuilt on the new grid.
+//
+// Deprecated: construct with gonamd.NewParallel(sys, ff, st, workers,
+// gonamd.WithBlockLists(skin)) instead; the option validates the skin
+// and delegates here, so the two paths are identical.
 func (e *Engine) EnableBlockLists(skin float64) error {
 	if skin <= 0 {
 		panic("par: block-list skin must be positive")

@@ -32,6 +32,7 @@ import (
 	"gonamd/internal/spatial"
 	"gonamd/internal/thermo"
 	"gonamd/internal/topology"
+	"gonamd/internal/trace"
 	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
@@ -67,6 +68,10 @@ type wstate struct {
 	f     []vec.V3
 	touch []int32
 	mark  []bool
+
+	// nbT/bT are this worker's summed nonbonded and bonded task times for
+	// the latest compute phase, read by the tracing emission (tracing.go).
+	nbT, bT float64
 }
 
 func (ws *wstate) add(i int32, fv vec.V3) {
@@ -144,6 +149,9 @@ type Engine struct {
 	fresh    bool
 	steps    int
 	balances int
+
+	// tr, when non-nil, receives per-phase execution records (tracing.go).
+	tr *trace.Recorder
 }
 
 // New creates an engine with the given number of workers (0 = NumCPU).
@@ -296,12 +304,17 @@ func (e *Engine) ComputeForces() seq.Energies {
 		e.bins = e.binner.Bin(e.St.Pos)
 	}
 
+	t := e.phaseNow()
 	e.poolOnce.Do(e.startPool)
 	e.wg.Add(e.workers)
 	for w := 0; w < e.workers; w++ {
 		e.workCh <- w
 	}
 	e.wg.Wait()
+	if e.tr.Enabled() {
+		e.emitComputePhase(t)
+		t = e.tr.Now()
+	}
 
 	// Deterministic sparse reduction: each reducer owns an atom range and
 	// adds worker contributions in fixed worker order, visiting only atoms
@@ -312,6 +325,7 @@ func (e *Engine) ComputeForces() seq.Energies {
 		e.workCh <- e.workers + w
 	}
 	e.wg.Wait()
+	e.phaseEmit("reduce", trace.CatComm, t)
 
 	var en seq.Energies
 	for w := 0; w < e.workers; w++ {
@@ -374,6 +388,7 @@ func (e *Engine) computeWorker(w int) {
 	ws.touch = ws.touch[:0]
 
 	var en seq.Energies
+	var nbT, bT float64
 	for ti := range e.tasks {
 		if e.assign[ti] != w {
 			continue
@@ -395,6 +410,11 @@ func (e *Engine) computeWorker(w int) {
 		// it, and charges the work to the right task measurement.
 		e.flushBatch(w, ws, &en)
 		dt := time.Since(start).Seconds()
+		if t.kind == taskBonded {
+			bT += dt
+		} else {
+			nbT += dt
+		}
 		// Exponential smoothing stabilizes the measurements the
 		// balancer sees (principle of persistence).
 		if t.measured == 0 {
@@ -403,6 +423,7 @@ func (e *Engine) computeWorker(w int) {
 			t.measured = 0.7*t.measured + 0.3*dt
 		}
 	}
+	ws.nbT, ws.bT = nbT, bT
 	slices.Sort(ws.touch)
 	e.wenergy[w] = en
 }
@@ -593,6 +614,7 @@ func (e *Engine) Step(dt float64) {
 		e.ComputeForces()
 	}
 	pos, vel := e.St.Pos, e.St.Vel
+	t := e.phaseNow()
 	var maxV2 float64
 	for i := range pos {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
@@ -603,7 +625,9 @@ func (e *Engine) Step(dt float64) {
 		pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dt)), e.Sys.Box)
 	}
 	e.advanceGuard(maxV2, dt)
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 	e.ComputeForces()
+	t = e.phaseNow()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
@@ -611,10 +635,12 @@ func (e *Engine) Step(dt float64) {
 	if e.Thermo != nil {
 		e.Thermo.Apply(e.Sys, e.St, dt)
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 	e.steps++
 	if e.RebalanceEvery > 0 && e.steps%e.RebalanceEvery == 0 {
 		e.Rebalance()
 	}
+	e.markStep()
 }
 
 // Run advances n steps and returns the final energies.

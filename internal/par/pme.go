@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gonamd/internal/pme"
+	"gonamd/internal/trace"
 	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
@@ -37,6 +38,11 @@ func (p poolAdapter) Run(f func(w int)) {
 // the engine's worker pool. Forces and energies are bitwise identical to
 // the sequential engine's PME path for any worker count. Must be called
 // before the first Step.
+//
+// Deprecated: construct with gonamd.NewParallel(sys, ff, st, workers,
+// gonamd.WithPME(gridSpacing, beta, mtsPeriod)) instead; the option
+// validates the parameters (and derives beta from the cutoff when 0) and
+// delegates here, so the two paths are identical.
 func (e *Engine) EnableFullElectrostatics(gridSpacing, beta float64, mtsPeriod int) error {
 	if e.pme != nil {
 		return fmt.Errorf("par: full electrostatics already enabled")
@@ -81,8 +87,16 @@ func (e *Engine) RecipForces() []vec.V3 {
 
 func (e *Engine) ensureRecip() {
 	if !e.pme.Primed {
-		e.pme.Evaluate(e.St.Pos, poolAdapter{e})
+		e.evalRecip()
 	}
+}
+
+// evalRecip runs one reciprocal-space evaluation on the worker pool,
+// timed as a "pme_recip" phase record when tracing is attached.
+func (e *Engine) evalRecip() {
+	t := e.phaseNow()
+	e.pme.Evaluate(e.St.Pos, poolAdapter{e})
+	e.phaseEmit("pme_recip", trace.CatPME, t)
 }
 
 // stepPME advances one step under the impulse MTS scheme; see the
@@ -98,6 +112,7 @@ func (e *Engine) stepPME(dt float64) {
 	dtOuter := dt * float64(p.MTSPeriod)
 	fr := p.Forces()
 
+	t := e.phaseNow()
 	if p.Counter == 0 {
 		for i := range vel {
 			a := fr[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
@@ -115,20 +130,25 @@ func (e *Engine) stepPME(dt float64) {
 		pos[i] = vec.Wrap(pos[i].Add(vel[i].Scale(dt)), e.Sys.Box)
 	}
 	e.advanceGuard(maxV2, dt)
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 	e.ComputeForces()
+	t = e.phaseNow()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 
 	p.Counter++
 	if p.Counter == p.MTSPeriod {
 		p.Counter = 0
-		p.Evaluate(e.St.Pos, poolAdapter{e})
+		e.evalRecip()
+		t = e.phaseNow()
 		for i := range vel {
 			a := fr[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 			vel[i] = vel[i].Add(a.Scale(0.5 * dtOuter))
 		}
+		e.phaseEmit("integrate", trace.CatIntegration, t)
 	}
 	if e.Thermo != nil {
 		e.Thermo.Apply(e.Sys, e.St, dt)
@@ -137,4 +157,5 @@ func (e *Engine) stepPME(dt float64) {
 	if e.RebalanceEvery > 0 && e.steps%e.RebalanceEvery == 0 {
 		e.Rebalance()
 	}
+	e.markStep()
 }

@@ -1,0 +1,71 @@
+package projections
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gonamd/internal/ldb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenSummaryText pins the text rendering: trace times are virtual
+// (hand-written), so the output is fully deterministic.
+func TestGoldenSummaryText(t *testing.T) {
+	rep := Analyze(testLog(), Options{HistBins: 5})
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	checkGolden(t, "summary.txt", buf.Bytes())
+}
+
+// TestGoldenJSON pins the versioned JSON schema.
+func TestGoldenJSON(t *testing.T) {
+	rep := Analyze(testLog(), Options{HistBins: 5, StepSeries: true})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", buf.Bytes())
+}
+
+// TestGoldenGantt pins the utilization chart rendering.
+func TestGoldenGantt(t *testing.T) {
+	l := testLog()
+	got := UtilizationGantt(l, 2, 50, 5, 0, 1.25)
+	checkGolden(t, "gantt.txt", []byte(got))
+}
+
+// TestGoldenLBReport pins the load-balance before/after table.
+func TestGoldenLBReport(t *testing.T) {
+	passes := []ldb.Stats{
+		{MaxLoad: 1.80, AvgLoad: 1.20, Imbalance: 0.60, Proxies: 140},
+		{MaxLoad: 1.32, AvgLoad: 1.20, Imbalance: 0.12, Proxies: 148},
+		{MaxLoad: 1.26, AvgLoad: 1.20, Imbalance: 0.06, Proxies: 151},
+	}
+	checkGolden(t, "lb.txt", []byte(LBReport(passes)))
+}

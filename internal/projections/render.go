@@ -1,0 +1,138 @@
+package projections
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gonamd/internal/trace"
+)
+
+// WriteJSON emits the report as indented JSON (one self-contained
+// document, schema-stamped for machine consumers).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the full text summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// WriteText renders the summary as the text tables cmd/projections and
+// the -profile flags print.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "projections summary (%s)\n", r.Schema)
+	fmt.Fprintf(w, "records %d   PEs %d   window %.6fs .. %.6fs (span %.6fs)\n",
+		r.Records, r.PEs, r.T0, r.T1, r.Span)
+	fmt.Fprintf(w, "busy %.6fs of %.6fs PE-seconds: utilization %.1f%%   idle %.1f%%   overhead %.1f%% of busy\n",
+		r.BusySeconds, r.BusySeconds+r.IdleSeconds, 100*r.Utilization, r.IdlePct, r.OverheadPctBusy)
+
+	if len(r.Categories) > 0 {
+		fmt.Fprintf(w, "\n%-12s %14s %8s\n", "category", "seconds", "% busy")
+		for _, c := range r.Categories {
+			fmt.Fprintf(w, "%-12s %14.6f %8.2f\n", c.Category, c.Seconds, c.PctBusy)
+		}
+		fmt.Fprintf(w, "%-12s %14.6f %8.2f\n", "total", r.BusySeconds, 100.0)
+	}
+
+	if len(r.PerPE) > 0 {
+		fmt.Fprintf(w, "\nper-PE utilization\n")
+		for _, p := range r.PerPE {
+			bar := int(p.Utilization*40 + 0.5)
+			if bar > 40 {
+				bar = 40
+			}
+			fmt.Fprintf(w, "PE%4d |%-40s| %6.1f%%  busy %.6fs\n",
+				p.PE, strings.Repeat("#", bar), 100*p.Utilization, p.BusySeconds)
+		}
+	}
+
+	if len(r.Entries) > 0 {
+		fmt.Fprintf(w, "\n%-24s %8s %12s %12s %12s %8s\n",
+			"entry", "count", "total s", "mean ms", "max ms", "% busy")
+		for _, e := range r.Entries {
+			fmt.Fprintf(w, "%-24s %8d %12.6f %12.4f %12.4f %8.2f\n",
+				e.Entry, e.Count, e.Total, e.Mean*1e3, e.Max*1e3, e.PctBusy)
+		}
+	}
+
+	if r.Steps != nil {
+		fmt.Fprintf(w, "\nsteps: n=%d  mean %.4f ms  min %.4f  p50 %.4f  p90 %.4f  max %.4f\n",
+			r.Steps.N, r.Steps.Mean*1e3, r.Steps.Min*1e3, r.Steps.P50*1e3,
+			r.Steps.P90*1e3, r.Steps.Max*1e3)
+	}
+
+	if r.Grainsize != nil {
+		fmt.Fprintf(w, "\n%s", r.GrainsizeText())
+	}
+}
+
+// GrainsizeText renders the grainsize distribution: percentile summary
+// plus the ASCII histogram of the paper's Figures 1–2.
+func (r *Report) GrainsizeText() string {
+	g := r.Grainsize
+	if g == nil {
+		return "grainsize: no compute-object executions recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "grainsize (compute-object execution times): n=%d\n", g.N)
+	fmt.Fprintf(&b, "  mean %.4f ms  min %.4f  p10 %.4f  p50 %.4f  p90 %.4f  p99 %.4f  max %.4f\n",
+		g.Mean*1e3, g.Min*1e3, g.P10*1e3, g.P50*1e3, g.P90*1e3, g.P99*1e3, g.Max*1e3)
+	maxCount := 0
+	for _, c := range g.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range g.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 50 / maxCount
+		}
+		fmt.Fprintf(&b, "%9.3f-%-9.3f ms |%s %d\n",
+			float64(i)*g.BinWidth*1e3, float64(i+1)*g.BinWidth*1e3,
+			strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// UtilizationGantt renders the overall utilization-versus-time curve as
+// an ASCII chart — the shape of the paper's Figures 5–6 Projections
+// graphs. Each column is one of width time bins over [t0, t1); each of
+// the height rows is a 100/height-percent utilization band, filled when
+// the bin's utilization reaches it.
+func UtilizationGantt(l *trace.Log, npe, width, height int, t0, t1 float64) string {
+	if width <= 0 {
+		width = 100
+	}
+	if height <= 0 {
+		height = 10
+	}
+	util := l.Utilization(npe, width, t0, t1)
+	if util == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization over %d PEs, %d bins of %.6fs\n", npe, width, (t1-t0)/float64(width))
+	for row := height; row >= 1; row-- {
+		level := float64(row) / float64(height)
+		fmt.Fprintf(&b, "%4.0f%% |", 100*level)
+		for _, u := range util {
+			if u >= level-1e-12 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      t=%-12.6f%st=%.6f\n", t0, strings.Repeat(" ", max(0, width-22)), t1)
+	return b.String()
+}

@@ -48,6 +48,14 @@ func NewHBondConstraints(sys *topology.System, r0 func(typ int32) float64) (*Con
 // Count returns the number of constrained bonds.
 func (c *Constraints) Count() int { return len(c.pairs) }
 
+// SetConstraints attaches a constraint set built at construction time;
+// Constraints returns it (nil when none were attached). The engine does
+// not apply them implicitly — callers drive StepConstrained.
+func (e *Engine) SetConstraints(c *Constraints) { e.cons = c }
+
+// Constraints returns the constraint set attached at construction.
+func (e *Engine) Constraints() *Constraints { return e.cons }
+
 // Shake iteratively corrects positions (and the velocities implied by the
 // position change over dt) so every constrained bond has its target
 // length. prev holds the positions before the unconstrained drift.

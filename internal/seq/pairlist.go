@@ -36,6 +36,10 @@ type pairlist struct {
 // neighbor list with the given skin (Å; typical 1.5-2.0). The list is
 // rebuilt automatically when any atom has moved more than skin/2 since
 // the last build.
+//
+// Deprecated: construct with gonamd.NewSequential(sys, ff, st,
+// gonamd.WithPairlist(skin)) instead; the option validates the skin and
+// delegates here, so the two paths are identical.
 func (e *Engine) EnablePairlist(skin float64) {
 	if skin <= 0 {
 		panic("seq: pairlist skin must be positive")

@@ -6,6 +6,7 @@ import (
 
 	"gonamd/internal/fft"
 	"gonamd/internal/pme"
+	"gonamd/internal/trace"
 	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
@@ -19,6 +20,11 @@ import (
 // multiple-timestepping split: the reciprocal sum is evaluated once every
 // mtsPeriod steps and applied as an impulse (Verlet-I/r-RESPA), 1 meaning
 // every step. Must be called before the first Step.
+//
+// Deprecated: construct with gonamd.NewSequential(sys, ff, st,
+// gonamd.WithPME(gridSpacing, beta, mtsPeriod)) instead; the option
+// validates the parameters (and derives beta from the cutoff when 0) and
+// delegates here, so the two paths are identical.
 func (e *Engine) EnableFullElectrostatics(gridSpacing, beta float64, mtsPeriod int) error {
 	if e.pme != nil {
 		return fmt.Errorf("seq: full electrostatics already enabled")
@@ -64,8 +70,16 @@ func (e *Engine) RecipForces() []vec.V3 {
 
 func (e *Engine) ensureRecip() {
 	if !e.pme.Primed {
-		e.pme.Evaluate(e.St.Pos, fft.Serial{})
+		e.evalRecip()
 	}
+}
+
+// evalRecip runs one reciprocal-space evaluation, timed as a "pme_recip"
+// phase record when tracing is attached.
+func (e *Engine) evalRecip() {
+	t := e.phaseNow()
+	e.pme.Evaluate(e.St.Pos, fft.Serial{})
+	e.phaseEmit("pme_recip", trace.CatPME, t)
 }
 
 // stepPME advances one step with full electrostatics under the impulse
@@ -83,6 +97,7 @@ func (e *Engine) stepPME(dt float64) {
 	fr := p.Forces()
 
 	// Outer half-kick with the reciprocal impulse at the cycle start.
+	t := e.phaseNow()
 	if p.Counter == 0 {
 		for i := range vel {
 			a := fr[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
@@ -103,23 +118,29 @@ func (e *Engine) stepPME(dt float64) {
 	if e.plist != nil {
 		e.plist.guard.Advance(math.Sqrt(maxV2) * dt)
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 	e.ComputeForces()
+	t = e.phaseNow()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 
 	// Cycle end: fresh reciprocal forces and the closing outer half-kick.
 	p.Counter++
 	if p.Counter == p.MTSPeriod {
 		p.Counter = 0
-		p.Evaluate(e.St.Pos, fft.Serial{})
+		e.evalRecip()
+		t = e.phaseNow()
 		for i := range vel {
 			a := fr[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 			vel[i] = vel[i].Add(a.Scale(0.5 * dtOuter))
 		}
+		e.phaseEmit("integrate", trace.CatIntegration, t)
 	}
 	if e.Thermo != nil {
 		e.Thermo.Apply(e.Sys, e.St, dt)
 	}
+	e.markStep()
 }

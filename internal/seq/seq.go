@@ -15,6 +15,7 @@ import (
 	"gonamd/internal/spatial"
 	"gonamd/internal/thermo"
 	"gonamd/internal/topology"
+	"gonamd/internal/trace"
 	"gonamd/internal/units"
 	"gonamd/internal/vec"
 )
@@ -70,6 +71,15 @@ type Engine struct {
 	// (see pme.go): the pair kernels then evaluate the erfc real-space
 	// term and Step follows the impulse-MTS reciprocal schedule.
 	pme *pme.Solver
+
+	// tr, when non-nil, receives per-phase execution records (see
+	// tracing.go); steps counts completed Step calls for the markers.
+	tr    *trace.Recorder
+	steps int64
+
+	// cons, when non-nil, holds SHAKE/RATTLE constraints attached at
+	// construction (the options API); drive them with StepConstrained.
+	cons *Constraints
 }
 
 // New prepares an engine. The force-field cutoff determines the cell
@@ -161,6 +171,7 @@ func (e *Engine) ComputeForces() Energies {
 		e.forces[i] = vec.Zero
 	}
 	var en Energies
+	t := e.phaseNow()
 	if e.plist != nil {
 		if !e.plist.valid(e.St, e.Sys.Box) {
 			e.buildPairlist()
@@ -169,7 +180,9 @@ func (e *Engine) ComputeForces() Energies {
 	} else {
 		e.nonbonded(&en)
 	}
+	t = e.phaseEmit("nonbonded", trace.CatNonbonded, t)
 	e.bonded(&en)
+	e.phaseEmit("bonded", trace.CatBonded, t)
 	e.cur = en
 	e.fresh = true
 	en.Kinetic = e.Kinetic()
@@ -345,6 +358,7 @@ func (e *Engine) Step(dt float64) {
 	}
 	e.ensureForces()
 	pos, vel := e.St.Pos, e.St.Vel
+	t := e.phaseNow()
 	// Half kick + drift, tracking the largest speed: each atom's
 	// displacement this step is exactly |v|·dt, which advances the
 	// pairlist drift bound so validity checks can skip their O(N) scan.
@@ -360,8 +374,10 @@ func (e *Engine) Step(dt float64) {
 	if e.plist != nil {
 		e.plist.guard.Advance(math.Sqrt(maxV2) * dt)
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
 	// New forces + half kick.
 	e.ComputeForces()
+	t = e.phaseNow()
 	for i := range vel {
 		a := e.forces[i].Scale(units.ForceToAccel / e.Sys.Atoms[i].Mass)
 		vel[i] = vel[i].Add(a.Scale(0.5 * dt))
@@ -369,6 +385,8 @@ func (e *Engine) Step(dt float64) {
 	if e.Thermo != nil {
 		e.Thermo.Apply(e.Sys, e.St, dt)
 	}
+	e.phaseEmit("integrate", trace.CatIntegration, t)
+	e.markStep()
 }
 
 // Run advances n steps of dt femtoseconds and returns the final energies.

@@ -1,0 +1,52 @@
+package seq
+
+import (
+	"gonamd/internal/topology"
+	"gonamd/internal/trace"
+)
+
+// SetTrace attaches a trace log to the engine: every subsequent step
+// emits per-phase execution records ("nonbonded", "bonded", "integrate",
+// "pme_recip" when full electrostatics are on) plus a zero-duration
+// "step" marker per step, all on PE 0. Passing nil or a disabled log
+// detaches tracing; the step path then pays only nil checks.
+func (e *Engine) SetTrace(l *trace.Log) {
+	e.tr = trace.NewRecorder(l)
+}
+
+// System returns the engine's topology.
+func (e *Engine) System() *topology.System { return e.Sys }
+
+// State returns the engine's mutable positions/velocities.
+func (e *Engine) State() *topology.State { return e.St }
+
+// Steps returns the number of Step calls completed.
+func (e *Engine) Steps() int { return int(e.steps) }
+
+// phaseNow samples the recorder clock, or returns 0 with tracing off.
+func (e *Engine) phaseNow() float64 {
+	if e.tr.Enabled() {
+		return e.tr.Now()
+	}
+	return 0
+}
+
+// phaseEmit records [start, now) under entry/cat on PE 0 and returns
+// now, so consecutive phases chain without re-sampling the clock.
+func (e *Engine) phaseEmit(entry string, cat trace.Category, start float64) float64 {
+	if !e.tr.Enabled() {
+		return 0
+	}
+	now := e.tr.Now()
+	e.tr.Emit(entry, 0, 0, start, cat, now-start)
+	return now
+}
+
+// markStep emits the zero-duration step-completion marker carrying the
+// step index, from which the analyzer derives the step-time series.
+func (e *Engine) markStep() {
+	e.steps++
+	if e.tr.Enabled() {
+		e.tr.EmitMarker("step", 0, int32(e.steps), e.tr.Now())
+	}
+}

@@ -22,7 +22,8 @@ type jsonSpan struct {
 	Dur float64 `json:"dur"`
 }
 
-func catFromString(s string) (Category, error) {
+// ParseCategory inverts Category.String.
+func ParseCategory(s string) (Category, error) {
 	for c := Category(0); c < numCategories; c++ {
 		if c.String() == s {
 			return c, nil
@@ -48,26 +49,43 @@ func (l *Log) WriteJSON(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSON loads a log written by WriteJSON.
-func ReadJSON(r io.Reader) (*Log, error) {
-	l := NewLog()
+// ScanJSON streams a JSON Lines trace to fn one record at a time,
+// without materializing the whole log — the path internal/projections
+// uses to analyze saved trace files of arbitrary size. Scanning stops at
+// the first error fn returns.
+func ScanJSON(r io.Reader, fn func(ExecRecord) error) error {
 	dec := json.NewDecoder(bufio.NewReader(r))
-	for {
+	for n := 0; ; n++ {
 		var jr jsonRecord
 		if err := dec.Decode(&jr); err != nil {
 			if err == io.EOF {
-				return l, nil
+				return nil
 			}
-			return nil, fmt.Errorf("trace: decoding record %d: %w", len(l.Records), err)
+			return fmt.Errorf("trace: decoding record %d: %w", n, err)
 		}
 		rec := ExecRecord{PE: jr.PE, Obj: jr.Obj, Entry: jr.Entry, Start: jr.Start, End: jr.End}
 		for _, sp := range jr.Spans {
-			cat, err := catFromString(sp.Cat)
+			cat, err := ParseCategory(sp.Cat)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rec.Spans = append(rec.Spans, Span{Cat: cat, Dur: sp.Dur})
 		}
-		l.Records = append(l.Records, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadJSON loads a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	l := NewLog()
+	err := ScanJSON(r, func(rec ExecRecord) error {
+		l.Records = append(l.Records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
 }

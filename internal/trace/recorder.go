@@ -1,0 +1,71 @@
+package trace
+
+import "time"
+
+// Recorder is the allocation-conscious bridge the real engines use to
+// emit per-step phase records into a Log. It timestamps records on a
+// wall-clock axis anchored at its creation, and carves single-span
+// slices out of a pre-grown arena so that steady-state emission costs no
+// heap allocations until the reserved capacity is exhausted (after which
+// appends grow geometrically, amortized as usual).
+//
+// A Recorder is not safe for concurrent use; engines emit only from the
+// goroutine driving the step.
+type Recorder struct {
+	log   *Log
+	epoch time.Time
+	arena []Span
+}
+
+// recorderReserve sizes the record and span arenas: comfortably more
+// steps than any benchmark or test window measures before the first
+// amortized growth.
+const recorderReserve = 1 << 14
+
+// NewRecorder wires a recorder to an enabled log (nil log or disabled
+// log yields a nil Recorder, which every method accepts).
+func NewRecorder(l *Log) *Recorder {
+	if !l.Enabled() {
+		return nil
+	}
+	l.Reserve(recorderReserve)
+	return &Recorder{
+		log:   l,
+		epoch: time.Now(),
+		arena: make([]Span, 0, recorderReserve),
+	}
+}
+
+// Enabled reports whether Emit calls will record anything.
+func (r *Recorder) Enabled() bool { return r != nil && r.log.Enabled() }
+
+// Now returns seconds since the recorder's epoch — the time axis all of
+// its records live on.
+func (r *Recorder) Now() float64 {
+	return time.Since(r.epoch).Seconds()
+}
+
+// Emit records one single-category phase execution. Zero and negative
+// durations are dropped (a phase that did not run this step).
+func (r *Recorder) Emit(entry string, pe, obj int32, start float64, cat Category, dur float64) {
+	if !r.Enabled() || dur <= 0 {
+		return
+	}
+	n := len(r.arena)
+	r.arena = append(r.arena, Span{Cat: cat, Dur: dur})
+	r.log.Add(ExecRecord{
+		PE: pe, Obj: obj, Entry: entry,
+		Start: start, End: start + dur,
+		Spans: r.arena[n : n+1 : n+1],
+	})
+}
+
+// EmitMarker records a zero-duration boundary marker (entry "step" marks
+// step completion; the analyzer derives step-time series from
+// consecutive markers).
+func (r *Recorder) EmitMarker(entry string, pe, obj int32, at float64) {
+	if !r.Enabled() {
+		return
+	}
+	r.log.Add(ExecRecord{PE: pe, Obj: obj, Entry: entry, Start: at, End: at})
+}

@@ -32,6 +32,10 @@ const (
 	numCategories  = iota
 )
 
+// NumCategories is the number of distinct span categories, for analysis
+// code (internal/projections) that keeps fixed-size per-category tables.
+const NumCategories = int(numCategories)
+
 // String implements fmt.Stringer.
 func (c Category) String() string {
 	switch c {
@@ -100,6 +104,18 @@ func (l *Log) Add(rec ExecRecord) {
 	if l.Enabled() {
 		l.Records = append(l.Records, rec)
 	}
+}
+
+// Reserve ensures capacity for at least n more records without
+// reallocation, so hot-path recorders (the real engines' per-step phase
+// timers) can append without allocating in the steady state.
+func (l *Log) Reserve(n int) {
+	if l == nil || cap(l.Records)-len(l.Records) >= n {
+		return
+	}
+	grown := make([]ExecRecord, len(l.Records), len(l.Records)+n)
+	copy(grown, l.Records)
+	l.Records = grown
 }
 
 // Clear drops all records but keeps the log enabled.

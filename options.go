@@ -1,0 +1,297 @@
+package gonamd
+
+import (
+	"fmt"
+
+	"gonamd/internal/par"
+	"gonamd/internal/seq"
+	"gonamd/internal/thermo"
+	"gonamd/internal/trace"
+)
+
+// Engine is the interface both real engines satisfy: construct one with
+// NewSequential or NewParallel and drive it without caring which. The
+// cluster simulation (NewClusterSim) models machines rather than
+// advancing real atoms and stays outside this interface.
+type Engine interface {
+	// Step advances one velocity-Verlet step of dt femtoseconds.
+	Step(dt float64)
+	// Run advances n steps and returns the final energies.
+	Run(n int, dt float64) Energies
+	// ComputeForces evaluates forces at the current positions.
+	ComputeForces() Energies
+	// Energies returns the last evaluation's energies plus current kinetic.
+	Energies() Energies
+	// Forces returns the engine-owned force array from the last evaluation.
+	Forces() []V3
+	// Invalidate marks cached forces stale after external position edits.
+	Invalidate()
+	// Kinetic returns the kinetic energy in kcal/mol.
+	Kinetic() float64
+	// Temperature returns the instantaneous temperature in K.
+	Temperature() float64
+	// System returns the engine's topology.
+	System() *System
+	// State returns the engine's mutable positions and velocities.
+	State() *State
+}
+
+var (
+	_ Engine = (*Sequential)(nil)
+	_ Engine = (*Parallel)(nil)
+)
+
+// engineKind discriminates which constructor is applying the options, so
+// engine-specific options can reject the wrong engine by name.
+type engineKind uint8
+
+const (
+	kindSequential engineKind = iota
+	kindParallel
+)
+
+func (k engineKind) String() string {
+	if k == kindSequential {
+		return "sequential"
+	}
+	return "parallel"
+}
+
+// engineOptions accumulates the configuration the options record. All
+// validation that spans options (or needs the force field) happens after
+// every option has run, so option order never matters.
+type engineOptions struct {
+	kind engineKind
+
+	pairlistSkin float64 // seq: Verlet pair list skin, 0 = off
+	blockSkin    float64 // par: Verlet block list skin, 0 = off
+
+	pmeSet  bool
+	pmeGrid float64
+	pmeBeta float64 // 0 = auto (3.12/cutoff, erfc(3.12) ≈ 1e-5 at the cutoff)
+	pmeMTS  int
+
+	trace      *trace.Log
+	thermostat thermo.Thermostat
+
+	rebalanceEvery    int
+	rebalanceEverySet bool
+
+	hbond bool
+}
+
+// Option configures an engine at construction time. Options are applied
+// by NewSequential and NewParallel in a fixed internal order, so the
+// order they are passed in never changes the result. Engine-specific
+// options (WithPairlist, WithBlockLists, ...) return a construction
+// error when handed to the other engine.
+type Option func(*engineOptions) error
+
+// WithPairlist switches the sequential engine's nonbonded path to a
+// Verlet pair list with the given skin in Å (rebuilt only when an atom
+// has drifted more than skin/2). Sequential engine only; skin must be
+// positive.
+func WithPairlist(skin float64) Option {
+	return func(o *engineOptions) error {
+		if o.kind != kindSequential {
+			return fmt.Errorf("gonamd: WithPairlist applies only to the sequential engine (use WithBlockLists for the parallel engine)")
+		}
+		if skin <= 0 {
+			return fmt.Errorf("gonamd: pairlist skin %g Å must be positive", skin)
+		}
+		o.pairlistSkin = skin
+		return nil
+	}
+}
+
+// WithBlockLists caches a Verlet pair list with the given skin (Å) per
+// nonbonded task of the parallel engine, rebuilt only when atoms drift
+// beyond skin/2. Parallel engine only; skin must be positive.
+func WithBlockLists(skin float64) Option {
+	return func(o *engineOptions) error {
+		if o.kind != kindParallel {
+			return fmt.Errorf("gonamd: WithBlockLists applies only to the parallel engine (use WithPairlist for the sequential engine)")
+		}
+		if skin <= 0 {
+			return fmt.Errorf("gonamd: block list skin %g Å must be positive", skin)
+		}
+		o.blockSkin = skin
+		return nil
+	}
+}
+
+// WithPME enables smooth particle-mesh Ewald full electrostatics: erfc
+// real space inside the cutoff plus a reciprocal mesh sum on a grid of
+// at most gridSpacing Å per point, evaluated once every mtsPeriod steps
+// as an impulse (1 = every step). beta is the Ewald splitting parameter
+// in Å⁻¹; pass 0 to choose it from the cutoff (3.12/cutoff, which makes
+// the real-space term negligible at the cutoff).
+func WithPME(gridSpacing, beta float64, mtsPeriod int) Option {
+	return func(o *engineOptions) error {
+		if gridSpacing <= 0 {
+			return fmt.Errorf("gonamd: PME grid spacing %g Å must be positive", gridSpacing)
+		}
+		if beta < 0 {
+			return fmt.Errorf("gonamd: PME beta %g Å⁻¹ must be ≥ 0 (0 = auto)", beta)
+		}
+		if mtsPeriod < 1 {
+			return fmt.Errorf("gonamd: PME MTS period %d must be ≥ 1", mtsPeriod)
+		}
+		o.pmeSet = true
+		o.pmeGrid = gridSpacing
+		o.pmeBeta = beta
+		o.pmeMTS = mtsPeriod
+		return nil
+	}
+}
+
+// WithTrace attaches a Projections-style trace log: every step then
+// emits per-phase execution records and a step marker, analyzable with
+// AnalyzeTrace or cmd/projections. The instrumentation adds no heap
+// allocations to the steady-state step.
+func WithTrace(l *TraceLog) Option {
+	return func(o *engineOptions) error {
+		o.trace = l
+		return nil
+	}
+}
+
+// WithThermostat applies the thermostat after every step (NVT dynamics).
+func WithThermostat(th Thermostat) Option {
+	return func(o *engineOptions) error {
+		o.thermostat = th
+		return nil
+	}
+}
+
+// WithRebalanceEvery sets how many steps run between the parallel
+// engine's measurement-based load-balancing passes (0 disables automatic
+// rebalancing; call Rebalance manually). Parallel engine only.
+func WithRebalanceEvery(steps int) Option {
+	return func(o *engineOptions) error {
+		if o.kind != kindParallel {
+			return fmt.Errorf("gonamd: WithRebalanceEvery applies only to the parallel engine")
+		}
+		if steps < 0 {
+			return fmt.Errorf("gonamd: rebalance interval %d must be ≥ 0", steps)
+		}
+		o.rebalanceEvery = steps
+		o.rebalanceEverySet = true
+		return nil
+	}
+}
+
+// WithHBondConstraints builds SHAKE/RATTLE constraints for every bond
+// involving hydrogen, fixed at the force-field equilibrium length, and
+// attaches them to the engine (retrieve with Sequential.Constraints and
+// drive with StepConstrained). Sequential engine only, and incompatible
+// with WithPME: both reshape the timestep structure, and the impulse-MTS
+// PME step has no constraint projection.
+func WithHBondConstraints() Option {
+	return func(o *engineOptions) error {
+		if o.kind != kindSequential {
+			return fmt.Errorf("gonamd: WithHBondConstraints applies only to the sequential engine")
+		}
+		o.hbond = true
+		return nil
+	}
+}
+
+// validate enforces the cross-option constraints once all options ran.
+func (o *engineOptions) validate() error {
+	if o.hbond && o.pmeSet {
+		return fmt.Errorf("gonamd: WithHBondConstraints and WithPME cannot be combined: the impulse-MTS PME step has no SHAKE/RATTLE projection")
+	}
+	return nil
+}
+
+// NewSequential creates the single-threaded reference engine, configured
+// by the options (WithPairlist, WithPME, WithTrace, WithThermostat,
+// WithHBondConstraints).
+func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Sequential, error) {
+	o := engineOptions{kind: kindSequential}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	e, err := seq.New(sys, ff, st)
+	if err != nil {
+		return nil, err
+	}
+	if o.thermostat != nil {
+		e.Thermo = o.thermostat
+	}
+	if o.pairlistSkin > 0 {
+		e.EnablePairlist(o.pairlistSkin)
+	}
+	if o.pmeSet {
+		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
+			return nil, err
+		}
+	}
+	if o.hbond {
+		c, err := NewHBondConstraints(sys, ff)
+		if err != nil {
+			return nil, err
+		}
+		e.SetConstraints(c)
+	}
+	if o.trace != nil {
+		e.SetTrace(o.trace)
+	}
+	return e, nil
+}
+
+// NewParallel creates the shared-memory parallel engine with the given
+// number of goroutine workers (0 = GOMAXPROCS), configured by the
+// options (WithBlockLists, WithPME, WithTrace, WithThermostat,
+// WithRebalanceEvery).
+func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Option) (*Parallel, error) {
+	o := engineOptions{kind: kindParallel}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	e, err := par.New(sys, ff, st, workers)
+	if err != nil {
+		return nil, err
+	}
+	if o.thermostat != nil {
+		e.Thermo = o.thermostat
+	}
+	if o.rebalanceEverySet {
+		e.RebalanceEvery = o.rebalanceEvery
+	}
+	if o.blockSkin > 0 {
+		if err := e.EnableBlockLists(o.blockSkin); err != nil {
+			return nil, err
+		}
+	}
+	if o.pmeSet {
+		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
+			return nil, err
+		}
+	}
+	if o.trace != nil {
+		e.SetTrace(o.trace)
+	}
+	return e, nil
+}
+
+// betaOrAuto resolves the Ewald splitting parameter: an explicit value
+// passes through; 0 derives it from the cutoff so that the real-space
+// term is negligible (erfc(3.12) ≈ 1e-5) at the cutoff.
+func (o *engineOptions) betaOrAuto(ff *ForceField) float64 {
+	if o.pmeBeta > 0 {
+		return o.pmeBeta
+	}
+	return 3.12 / ff.Cutoff
+}

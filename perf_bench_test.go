@@ -36,11 +36,10 @@ func benchSystem(b *testing.B) (*gonamd.System, *gonamd.State, *gonamd.ForceFiel
 			panic(err)
 		}
 		ff := gonamd.StandardForceField(benchCutoff)
-		eng, err := gonamd.NewSequential(sys, ff, st)
+		eng, err := gonamd.NewSequential(sys, ff, st, gonamd.WithPairlist(benchSkin))
 		if err != nil {
 			panic(err)
 		}
-		eng.EnablePairlist(benchSkin)
 		eng.Minimize(30, 0.2)
 		benchSys, benchSt, benchFF = sys, st, ff
 	})
@@ -56,12 +55,9 @@ func reportSteps(b *testing.B) {
 // at 8 workers.
 func BenchmarkStepPar(b *testing.B) {
 	sys, st, ff := benchSystem(b)
-	eng, err := gonamd.NewParallel(sys, ff, st, 8)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithBlockLists(benchSkin), gonamd.WithRebalanceEvery(0))
 	if err != nil {
-		b.Fatal(err)
-	}
-	eng.RebalanceEvery = 0
-	if err := eng.EnableBlockLists(benchSkin); err != nil {
 		b.Fatal(err)
 	}
 	eng.ComputeForces() // build lists and warm per-worker buffers
@@ -74,17 +70,40 @@ func BenchmarkStepPar(b *testing.B) {
 	reportSteps(b)
 }
 
+// BenchmarkStepParTraced is BenchmarkStepPar with a trace log attached:
+// the per-phase instrumentation must stay within 0 allocs/step and add
+// only marginal (≤2%) wall overhead.
+func BenchmarkStepParTraced(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	tlog := gonamd.NewTraceLog()
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithBlockLists(benchSkin), gonamd.WithRebalanceEvery(0),
+		gonamd.WithTrace(tlog))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+	rep := gonamd.AnalyzeTrace(tlog, gonamd.ProjectionsOptions{})
+	b.ReportMetric(rep.Utilization*100, "util%")
+}
+
 // BenchmarkStepParBaseline is the pre-pipeline configuration of the
 // parallel engine — rebinning and screening every candidate pair every
 // step, no cached lists — kept as the reference the block-list speedup
 // is measured against.
 func BenchmarkStepParBaseline(b *testing.B) {
 	sys, st, ff := benchSystem(b)
-	eng, err := gonamd.NewParallel(sys, ff, st, 8)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8, gonamd.WithRebalanceEvery(0))
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng.RebalanceEvery = 0
 	eng.ComputeForces()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -101,15 +120,10 @@ func BenchmarkStepParBaseline(b *testing.B) {
 // impulse-MTS cycle.
 func BenchmarkStepParPME(b *testing.B) {
 	sys, st, ff := benchSystem(b)
-	eng, err := gonamd.NewParallel(sys, ff, st, 8)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithBlockLists(benchSkin), gonamd.WithRebalanceEvery(0),
+		gonamd.WithPME(1.0, 3.12/benchCutoff, 4))
 	if err != nil {
-		b.Fatal(err)
-	}
-	eng.RebalanceEvery = 0
-	if err := eng.EnableBlockLists(benchSkin); err != nil {
-		b.Fatal(err)
-	}
-	if err := eng.EnableFullElectrostatics(1.0, 3.12/benchCutoff, 4); err != nil {
 		b.Fatal(err)
 	}
 	eng.ComputeForces()
@@ -128,11 +142,10 @@ func BenchmarkStepParPME(b *testing.B) {
 // story.
 func BenchmarkStepSeq(b *testing.B) {
 	sys, st, ff := benchSystem(b)
-	eng, err := gonamd.NewSequential(sys, ff, st)
+	eng, err := gonamd.NewSequential(sys, ff, st, gonamd.WithPairlist(benchSkin))
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng.EnablePairlist(benchSkin)
 	eng.ComputeForces()
 	b.ReportAllocs()
 	b.ResetTimer()

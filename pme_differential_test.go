@@ -23,11 +23,8 @@ const (
 func TestPMEDifferentialSeqVsPar(t *testing.T) {
 	sys, st, ff := diffSystem(t)
 
-	ref, err := gonamd.NewSequential(sys, ff, st.Clone())
+	ref, err := gonamd.NewSequential(sys, ff, st.Clone(), gonamd.WithPME(pmeGridSpacing, pmeBeta, 1))
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ref.EnableFullElectrostatics(pmeGridSpacing, pmeBeta, 1); err != nil {
 		t.Fatal(err)
 	}
 	refEn := ref.Energies()
@@ -35,11 +32,8 @@ func TestPMEDifferentialSeqVsPar(t *testing.T) {
 	refRecip := ref.RecipForces()
 
 	for _, workers := range []int{1, 2, 4, 8} {
-		p, err := gonamd.NewParallel(sys, ff, st.Clone(), workers)
+		p, err := gonamd.NewParallel(sys, ff, st.Clone(), workers, gonamd.WithPME(pmeGridSpacing, pmeBeta, 1))
 		if err != nil {
-			t.Fatal(err)
-		}
-		if err := p.EnableFullElectrostatics(pmeGridSpacing, pmeBeta, 1); err != nil {
 			t.Fatal(err)
 		}
 		en := p.Energies()
@@ -69,11 +63,8 @@ func TestPMEDifferentialBitwiseRuns(t *testing.T) {
 	for _, workers := range []int{2, 4, 8} {
 		run := func() *gonamd.State {
 			parSt := st.Clone()
-			p, err := gonamd.NewParallel(sys, ff, parSt, workers)
+			p, err := gonamd.NewParallel(sys, ff, parSt, workers, gonamd.WithPME(pmeGridSpacing, pmeBeta, 4))
 			if err != nil {
-				t.Fatal(err)
-			}
-			if err := p.EnableFullElectrostatics(pmeGridSpacing, pmeBeta, 4); err != nil {
 				t.Fatal(err)
 			}
 			for i := 0; i < steps; i++ {
@@ -95,14 +86,11 @@ func TestPMEDifferentialBitwiseRuns(t *testing.T) {
 func TestPMEDifferentialVsDirectEwald(t *testing.T) {
 	sys, st, ff := diffSystem(t)
 
-	e, err := gonamd.NewSequential(sys, ff, st.Clone())
-	if err != nil {
-		t.Fatal(err)
-	}
 	// A finer mesh than the production default: at β = 0.45 a 1 Å grid
 	// leaves a few percent of interpolation error; 0.25 Å brings the mesh
 	// term within the comparison tolerance below.
-	if err := e.EnableFullElectrostatics(0.25, pmeBeta, 1); err != nil {
+	e, err := gonamd.NewSequential(sys, ff, st.Clone(), gonamd.WithPME(0.25, pmeBeta, 1))
+	if err != nil {
 		t.Fatal(err)
 	}
 	elec := e.Energies().Elec
@@ -196,12 +184,9 @@ func TestPMENVEDriftDifferential(t *testing.T) {
 // evaluations — k steps per cycle cost one reciprocal evaluation.
 func TestPMEMTSRecipSavings(t *testing.T) {
 	sys, st, ff := diffSystem(t)
-	e, err := gonamd.NewSequential(sys, ff, st)
-	if err != nil {
-		t.Fatal(err)
-	}
 	const mts = 4
-	if err := e.EnableFullElectrostatics(pmeGridSpacing, pmeBeta, mts); err != nil {
+	e, err := gonamd.NewSequential(sys, ff, st, gonamd.WithPME(pmeGridSpacing, pmeBeta, mts))
+	if err != nil {
 		t.Fatal(err)
 	}
 	const cycles = 3

@@ -1,0 +1,98 @@
+package gonamd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gonamd"
+)
+
+// TestProjectionsApoA1DES is the subsystem's acceptance run: a traced
+// cluster simulation of an ApoA-I-shaped system on the paper's 7×7×5
+// patch grid across 16 PEs, whose projections summary must report
+// per-category totals summing exactly (bitwise) to the recorded busy
+// time, alongside idle/overhead percentages and a populated grainsize
+// histogram.
+func TestProjectionsApoA1DES(t *testing.T) {
+	// ApoA-I's box and patch grid with a reduced atom count: the
+	// decomposition (245 patches, 16 PEs) matches the paper run while the
+	// workload build stays test-sized.
+	spec := gonamd.ApoA1Spec()
+	spec.TargetAtoms = 9000
+	spec.ProteinChains = 2
+	spec.ChainResidues = 60
+	spec.LipidCount = 24
+	spec.Temperature = 0
+	sys, st, err := gonamd.BuildSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gonamd.NewGridDims(sys, spec.PatchDims, gonamd.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := grid.Dim; g != [3]int{7, 7, 5} {
+		t.Fatalf("grid dims %v, want the paper's 7×7×5", g)
+	}
+	w, err := gonamd.BuildWorkload(spec.Name, sys, st, grid, gonamd.Cutoff, gonamd.Cutoff+1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gonamd.NewClusterSim(w, gonamd.ClusterConfig{
+		PEs: 16, Model: gonamd.ASCIRed(), SplitSelf: true, GrainSplit: true,
+		SplitBonded: true, MulticastOpt: true, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if res.Trace == nil || len(res.Trace.Records) == 0 {
+		t.Fatal("CollectTrace produced no records")
+	}
+
+	rep := gonamd.AnalyzeTrace(res.Trace, gonamd.ProjectionsOptions{PEs: 16})
+	if rep.PEs != 16 {
+		t.Fatalf("report PEs %d, want 16", rep.PEs)
+	}
+
+	// The headline invariant: category totals sum to busy time exactly —
+	// bitwise equality, not within tolerance.
+	sum := 0.0
+	for _, c := range rep.Categories {
+		sum += c.Seconds
+	}
+	if sum != rep.BusySeconds {
+		t.Errorf("Σ categories %.17g != busy %.17g", sum, rep.BusySeconds)
+	}
+	if rep.BusySeconds <= 0 {
+		t.Error("no busy time recorded")
+	}
+	if rep.IdleSeconds < 0 {
+		t.Errorf("negative idle %.17g", rep.IdleSeconds)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Errorf("utilization %.4f outside (0, 1]", rep.Utilization)
+	}
+	if len(rep.PerPE) != 16 {
+		t.Errorf("per-PE rows %d, want 16", len(rep.PerPE))
+	}
+	if rep.Grainsize == nil || rep.Grainsize.N == 0 {
+		t.Fatal("grainsize histogram empty: DES compute executions not classified")
+	}
+	if rep.Steps == nil || rep.Steps.N == 0 {
+		t.Error("no step markers in the DES trace")
+	}
+
+	// The rendered summary is what cmd/projections -summary prints; it
+	// must carry the category table, the idle/overhead lines, and the
+	// grainsize section.
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"category", "idle", "grainsize", "total", "util"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
