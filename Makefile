@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos bench bench-all profile ci
+.PHONY: all vet build test race serve chaos bench bench-all benchdiff profile ci
 
 all: vet build test
 
@@ -21,6 +21,13 @@ test:
 race: vet
 	$(GO) test -race ./...
 
+# The job-server suite: scheduler quota/fairness/lifecycle tests plus the
+# HTTP end-to-end crash/restart test that proves resumed jobs produce
+# byte-identical trajectories. Also runs under `race` (./...) and in the
+# chaos suite below.
+serve:
+	$(GO) test -count=1 ./internal/serve ./cmd/gonamdd
+
 # The chaos/conformance suite: fault injection, reliable delivery, and
 # checkpoint recovery, run twice (-count=2) to flush out any hidden
 # run-to-run nondeterminism in the seeded fault streams. The forcefield
@@ -30,7 +37,8 @@ race: vet
 chaos:
 	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden|Determinism|PME' \
 		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
-		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections .
+		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections \
+		./internal/serve .
 
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
 # benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —
@@ -42,6 +50,17 @@ bench:
 	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
 	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_4.json
+
+# Regression gate for the hot path: rerun the tracked benchmark suite
+# into BENCH_NEW.json (not committed) and compare the pinned step
+# benchmarks (^BenchmarkStepPar, ns/op) against the latest committed
+# BENCH_<n>.json. Fails if any pinned benchmark slows down more than 10%
+# or disappears.
+benchdiff:
+	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
+	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff -new BENCH_NEW.json
 
 # One iteration per benchmark: a quick smoke that every benchmark in the
 # tree still runs.

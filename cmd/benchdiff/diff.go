@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchmark and report mirror the gonamd-bench/1 schema written by
+// cmd/benchjson.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+const benchSchema = "gonamd-bench/1"
+
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
+	}
+	return &r, nil
+}
+
+// benchFile matches the committed benchmark records, BENCH_<n>.json.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestBench returns the highest-numbered BENCH_<n>.json in dir — the
+// most recent committed baseline.
+func latestBench(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// higherIsBetter reports the improvement direction of a metric: rates
+// (steps/sec, ops/sec) improve upward, everything else (ns/op, B/op,
+// allocs/op, ns/pair) improves downward.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec") || strings.HasSuffix(metric, "/s")
+}
+
+// row is one pinned benchmark's comparison.
+type row struct {
+	Name      string
+	Old, New  float64
+	Delta     float64 // fractional change in the metric, signed
+	Missing   bool    // pinned benchmark absent from the new run
+	Regressed bool
+}
+
+// compare checks every baseline benchmark matching pin against the new
+// run: the metric may not regress (in its improvement direction) by more
+// than tol, and a pinned benchmark may not disappear. Returns the rows
+// in name order and whether any pinned benchmark regressed or vanished.
+func compare(old, fresh *report, pin *regexp.Regexp, metric string, tol float64) ([]row, bool) {
+	newByName := make(map[string]benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		newByName[b.Name] = b
+	}
+	var rows []row
+	failed := false
+	for _, ob := range old.Benchmarks {
+		if !pin.MatchString(ob.Name) {
+			continue
+		}
+		ov, ok := ob.Metrics[metric]
+		if !ok {
+			continue // baseline never recorded this metric for this benchmark
+		}
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			rows = append(rows, row{Name: ob.Name, Old: ov, Missing: true, Regressed: true})
+			failed = true
+			continue
+		}
+		nv, ok := nb.Metrics[metric]
+		if !ok {
+			rows = append(rows, row{Name: ob.Name, Old: ov, Missing: true, Regressed: true})
+			failed = true
+			continue
+		}
+		r := row{Name: ob.Name, Old: ov, New: nv}
+		if ov != 0 {
+			r.Delta = (nv - ov) / ov
+		}
+		if higherIsBetter(metric) {
+			r.Regressed = nv < ov*(1-tol)
+		} else {
+			r.Regressed = nv > ov*(1+tol)
+		}
+		failed = failed || r.Regressed
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, failed
+}

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gonamd"
@@ -138,8 +141,17 @@ func main() {
 	if block <= 0 {
 		block = *steps
 	}
+	// On SIGINT/SIGTERM the block loop exits at the next block boundary;
+	// the final-checkpoint path below then records the partial run, so an
+	// interrupted ensemble resumes with -resume instead of starting over.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	start := time.Now()
 	for done := 0; done < *steps; {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted at step %d; writing final checkpoint\n", ens.Step())
+			break
+		}
 		n := block
 		if *steps-done < n {
 			n = *steps - done

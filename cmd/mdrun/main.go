@@ -9,15 +9,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"gonamd"
+	"gonamd/internal/ckpt"
 	"gonamd/internal/sysio"
 	"gonamd/internal/thermo"
 	"gonamd/internal/traj"
@@ -38,6 +43,7 @@ func main() {
 	thermostat := flag.String("thermostat", "", "NVT thermostat: rescale, berendsen, langevin (default NVE)")
 	targetT := flag.Float64("temperature", 300, "thermostat target temperature, K")
 	trajPath := flag.String("traj", "", "write a binary trajectory to this file")
+	ckptPath := flag.String("ckpt", "", "write a final sysio snapshot here (reload with -in); also written on SIGINT/SIGTERM")
 	trajEvery := flag.Int("trajevery", 10, "write a trajectory frame every N steps")
 	shake := flag.Bool("shake", false, "constrain bonds to hydrogen (sequential engine; allows -dt 2)")
 	skin := flag.Float64("skin", 0, "Verlet list skin, Å (0 = off; seq pairlist / par block lists)")
@@ -224,9 +230,21 @@ func main() {
 		}()
 	}
 
+	// On SIGINT/SIGTERM the dynamics loop exits cleanly at the next step
+	// boundary, so the trajectory, trace, and final checkpoint below are
+	// all still written — an interrupted run is a shorter run, not a
+	// corrupted one.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	seqEng, _ := eng.(*gonamd.Sequential)
 	start := time.Now()
+	done := 0
 	for s := 1; s <= *steps; s++ {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after step %d; flushing outputs\n", done)
+			break
+		}
 		if constraints != nil {
 			if err := seqEng.StepConstrained(*dt, constraints); err != nil {
 				log.Fatal(err)
@@ -234,6 +252,7 @@ func main() {
 		} else {
 			eng.Step(*dt)
 		}
+		done = s
 		if s%*every == 0 || s == *steps {
 			fmt.Printf("step %5d  t=%7.1f fs  T=%6.1f K  %s\n",
 				s, float64(s)**dt, eng.Temperature(), eng.Energies())
@@ -256,9 +275,20 @@ func main() {
 		}
 		fmt.Printf("wrote %d trajectory frames to %s\n", tw.Frames(), *trajPath)
 	}
+	if *ckptPath != "" {
+		err := ckpt.AtomicWriteFile(*ckptPath, func(w io.Writer) error {
+			return sysio.Save(w, sys, st)
+		})
+		if err != nil {
+			log.Fatalf("writing checkpoint %s: %v", *ckptPath, err)
+		}
+		fmt.Printf("wrote snapshot at step %d to %s (continue with -in %s)\n", done, *ckptPath, *ckptPath)
+	}
 	el := time.Since(start)
-	fmt.Printf("%d steps in %v (%.2f ms/step)\n", *steps, el.Round(time.Millisecond),
-		float64(el.Microseconds())/1e3/float64(*steps))
+	if done > 0 {
+		fmt.Printf("%d steps in %v (%.2f ms/step)\n", done, el.Round(time.Millisecond),
+			float64(el.Microseconds())/1e3/float64(done))
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

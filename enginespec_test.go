@@ -1,0 +1,139 @@
+package gonamd_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gonamd"
+)
+
+// specSystem builds a tiny water box for spec-bridge tests.
+func specSystem(t *testing.T) (*gonamd.System, *gonamd.State, *gonamd.ForceField) {
+	t.Helper()
+	sys, st, err := gonamd.BuildSystem(gonamd.WaterBoxSpec(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, st, gonamd.StandardForceField(4.5)
+}
+
+// TestEngineSpecMatchesOptions: an engine built through the JSON spec
+// bridge must be bitwise-identical in behavior to one built directly
+// with the corresponding functional options.
+func TestEngineSpecMatchesOptions(t *testing.T) {
+	sys, st, ff := specSystem(t)
+
+	raw := `{
+		"engine": "sequential",
+		"pairlist_skin": 1.0,
+		"thermostat": {"kind": "langevin", "temperature": 310, "seed": 99}
+	}`
+	var spec gonamd.EngineSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	stA := st.Clone()
+	specEng, th, err := spec.NewEngine(sys, ff, stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th == nil || th.Name() != "langevin" {
+		t.Fatalf("thermostat handle = %v, want langevin", th)
+	}
+
+	stB := st.Clone()
+	optEng, err := gonamd.NewSequential(sys, ff, stB,
+		gonamd.WithPairlist(1.0),
+		gonamd.WithThermostat(&gonamd.Langevin{Target: 310, Gamma: 0.005, Seed: 99}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		specEng.Step(0.5)
+		optEng.Step(0.5)
+	}
+	if !reflect.DeepEqual(stA.Pos, stB.Pos) || !reflect.DeepEqual(stA.Vel, stB.Vel) {
+		t.Fatal("spec-built engine diverged from option-built engine")
+	}
+}
+
+// TestEngineSpecParallel: the spec selects the parallel engine with its
+// engine-specific options, including pinning rebalancing off.
+func TestEngineSpecParallel(t *testing.T) {
+	sys, st, ff := specSystem(t)
+	zero := 0
+	spec := gonamd.EngineSpec{
+		Engine:         "parallel",
+		Workers:        2,
+		BlockListSkin:  1.0,
+		RebalanceEvery: &zero,
+	}
+	eng, th, err := spec.NewEngine(sys, ff, st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != nil {
+		t.Fatalf("unexpected thermostat %v", th)
+	}
+	p, ok := eng.(*gonamd.Parallel)
+	if !ok {
+		t.Fatalf("engine type %T, want *Parallel", eng)
+	}
+	if p.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", p.Workers())
+	}
+	if p.RebalanceEvery != 0 {
+		t.Fatalf("RebalanceEvery = %d, want 0", p.RebalanceEvery)
+	}
+}
+
+// TestEngineSpecRejections: invalid specs fail construction with the
+// options layer's validation errors.
+func TestEngineSpecRejections(t *testing.T) {
+	sys, st, ff := specSystem(t)
+	cases := []struct {
+		name string
+		spec gonamd.EngineSpec
+	}{
+		{"unknown engine", gonamd.EngineSpec{Engine: "quantum"}},
+		{"pairlist on parallel", gonamd.EngineSpec{Engine: "par", PairlistSkin: 1}},
+		{"blocklists on sequential", gonamd.EngineSpec{BlockListSkin: 1}},
+		{"negative pme grid", gonamd.EngineSpec{PME: &gonamd.PMESpec{GridSpacing: -1}}},
+		{"unknown thermostat", gonamd.EngineSpec{Thermostat: &gonamd.ThermostatSpec{Kind: "maxwell", Temperature: 300}}},
+		{"cold thermostat", gonamd.EngineSpec{Thermostat: &gonamd.ThermostatSpec{Kind: "langevin"}}},
+		{"shake plus pme", gonamd.EngineSpec{HBondConstraints: true, PME: &gonamd.PMESpec{GridSpacing: 1}}},
+	}
+	for _, c := range cases {
+		if _, _, err := c.spec.NewEngine(sys, ff, st.Clone()); err == nil {
+			t.Errorf("%s: construction succeeded, want error", c.name)
+		}
+	}
+}
+
+// TestThermostatSpecDefaults: omitted tuning parameters take the same
+// defaults the CLIs use.
+func TestThermostatSpecDefaults(t *testing.T) {
+	th, err := (&gonamd.ThermostatSpec{Kind: "berendsen", Temperature: 300}).New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := th.(*gonamd.Berendsen); !ok || b.Tau != 100 {
+		t.Fatalf("berendsen = %+v", th)
+	}
+	th, err = (&gonamd.ThermostatSpec{Kind: "rescale", Temperature: 300}).New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := th.(*gonamd.Rescale); !ok || r.Interval != 10 {
+		t.Fatalf("rescale = %+v", th)
+	}
+	th, err = (&gonamd.ThermostatSpec{Kind: "langevin", Temperature: 300}).New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := th.(*gonamd.Langevin); !ok || l.Gamma != 0.005 {
+		t.Fatalf("langevin = %+v", th)
+	}
+}

@@ -18,6 +18,13 @@
 // Synthetic benchmark systems standing in for the paper's inputs
 // (ApoA-I, BC1, bR) are built by BuildSystem with the corresponding
 // Spec presets.
+//
+// Engines are configured with functional options at construction; the
+// same configuration travels over the wire as an EngineSpec, the
+// JSON-serializable bridge the gonamdd job server (internal/serve,
+// cmd/gonamdd) uses to accept simulation jobs, multiplex them over a
+// shared worker pool, stream energies and trajectory frames, and resume
+// them bit-identically from internal/ckpt checkpoints after a crash.
 package gonamd
 
 import (

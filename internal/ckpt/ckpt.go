@@ -53,13 +53,22 @@ func tagMagic(tag string) [12]byte {
 	return m
 }
 
-// Sentinel errors, wrapped with context by Load.
+// Sentinel errors, wrapped with context by the load paths. Callers that
+// rescan checkpoint directories (the gonamdd job server) branch on them
+// with errors.Is: ErrVersionMismatch means a stale-but-intact format
+// (this build cannot reinterpret it), while ErrCorrupt and ErrTruncated
+// mean the bytes themselves are damaged.
 var (
-	ErrBadMagic  = errors.New("ckpt: not a gonamd checkpoint")
-	ErrVersion   = errors.New("ckpt: unsupported checkpoint version")
-	ErrTruncated = errors.New("ckpt: truncated checkpoint")
-	ErrCorrupt   = errors.New("ckpt: corrupt checkpoint")
+	ErrBadMagic        = errors.New("ckpt: not a gonamd checkpoint")
+	ErrVersionMismatch = errors.New("ckpt: unsupported checkpoint version")
+	ErrTruncated       = errors.New("ckpt: truncated checkpoint")
+	ErrCorrupt         = errors.New("ckpt: corrupt checkpoint")
 )
+
+// ErrVersion is the old name of ErrVersionMismatch.
+//
+// Deprecated: use ErrVersionMismatch.
+var ErrVersion = ErrVersionMismatch
 
 // ReplicaState is one replica's snapshot: where it is on the ladder, how
 // far it has advanced, its full phase-space state, and the state of its
@@ -152,7 +161,7 @@ func EnvelopeLoad(r io.Reader, tag string, version uint32, v any) error {
 		return ErrBadMagic
 	}
 	if v2 := binary.LittleEndian.Uint32(hdr[12:16]); v2 != version {
-		return fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v2, version)
+		return fmt.Errorf("%w %d (this build reads version %d)", ErrVersionMismatch, v2, version)
 	}
 	length := binary.LittleEndian.Uint64(hdr[16:24])
 	const maxPayload = 1 << 34 // 16 GiB: far above any real snapshot

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// StateDir is where specs, checkpoints, trajectories, and statuses
+	// live; a restarted server rescans it and resumes incomplete jobs.
+	StateDir string
+
+	// Workers is the shared persistent pool size: how many job slices
+	// execute concurrently across all tenants (0 = NumCPU).
+	Workers int
+
+	// SliceSteps is the scheduling quantum: a job runs this many engine
+	// steps per turn, then goes to the back of its tenant's queue, so
+	// long jobs cannot starve short ones (default 25).
+	SliceSteps int
+
+	// TenantQuota caps how many of one tenant's jobs run concurrently
+	// (default 2). Queued jobs beyond the quota wait without blocking
+	// other tenants.
+	TenantQuota int
+
+	// CheckpointEvery is the default crash-safety cadence in steps for
+	// jobs that do not set their own (default 100).
+	CheckpointEvery int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.StateDir == "" {
+		return c, fmt.Errorf("serve: Config.StateDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.SliceSteps <= 0 {
+		c.SliceSteps = 25
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = 2
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 100
+	}
+	return c, nil
+}
+
+// Scheduler multiplexes many simulation jobs over one bounded worker
+// pool with per-tenant admission: round-robin across tenants, priority
+// then FIFO within a tenant, quota-capped concurrency per tenant.
+type Scheduler struct {
+	cfg Config
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string          // submission order, for listing
+	queues     map[string][]*Job // tenant → runnable queue
+	tenants    []string          // round-robin order (first-seen order)
+	rr         int               // next tenant index to offer a slot
+	running    map[string]int    // tenant → slices currently executing
+	maxRunning map[string]int    // high-water mark, for quota observability
+	free       int               // free worker slots
+	nextID     int
+	draining   bool
+	killed     chan struct{}
+	wg         sync.WaitGroup // executing slices
+}
+
+// NewScheduler creates the scheduler, rescans the state directory, and
+// re-enqueues every incomplete job found there.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		queues:     make(map[string][]*Job),
+		running:    make(map[string]int),
+		maxRunning: make(map[string]int),
+		free:       cfg.Workers,
+		nextID:     1,
+		killed:     make(chan struct{}),
+	}
+	if err := s.rescan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Submit validates, persists, and enqueues a job.
+func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.normalize(s.cfg.CheckpointEvery); err != nil {
+		return JobStatus{}, err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("serve: scheduler is shutting down")
+	}
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	j := newJob(id, s.cfg.StateDir, spec, specJSON)
+	if err := persistSpec(j); err != nil {
+		s.mu.Unlock()
+		return JobStatus{}, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.enqueueLocked(j)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	j.persistStatus()
+	return j.Status(), nil
+}
+
+// enqueueLocked inserts the job into its tenant's queue: descending
+// priority, FIFO within equal priority.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	t := j.Spec.Tenant
+	if !contains(s.tenants, t) {
+		s.tenants = append(s.tenants, t)
+	}
+	q := s.queues[t]
+	i := sort.Search(len(q), func(i int) bool { return q[i].Spec.Priority < j.Spec.Priority })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = j
+	s.queues[t] = q
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked hands free worker slots to runnable jobs, round-robin
+// across tenants, skipping tenants at their quota.
+func (s *Scheduler) dispatchLocked() {
+	if s.draining || s.isKilled() || len(s.tenants) == 0 {
+		return
+	}
+	for s.free > 0 {
+		j := s.pickLocked()
+		if j == nil {
+			return
+		}
+		t := j.Spec.Tenant
+		s.running[t]++
+		if s.running[t] > s.maxRunning[t] {
+			s.maxRunning[t] = s.running[t]
+		}
+		s.free--
+		s.wg.Add(1)
+		go s.slice(j)
+	}
+}
+
+// pickLocked selects the next job: the first tenant in round-robin order
+// with queued work and headroom under its quota.
+func (s *Scheduler) pickLocked() *Job {
+	n := len(s.tenants)
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		t := s.tenants[idx]
+		q := s.queues[t]
+		if len(q) == 0 || s.running[t] >= s.cfg.TenantQuota {
+			continue
+		}
+		j := q[0]
+		s.queues[t] = q[1:]
+		s.rr = (idx + 1) % n
+		return j
+	}
+	return nil
+}
+
+// slice executes one scheduling turn of a job on a pool worker.
+func (s *Scheduler) slice(j *Job) {
+	defer s.wg.Done()
+	j.publishState(StateRunning, "")
+	out := j.runSlice(s.cfg.SliceSteps, s.killed)
+	s.mu.Lock()
+	s.running[j.Spec.Tenant]--
+	s.free++
+	if out == outcomeProgress {
+		if s.draining {
+			// The drain will checkpoint it; leave it off the queue with a
+			// queued status so a restart resumes it.
+			j.publishState(StateQueued, "")
+		} else {
+			j.publishState(StateQueued, "")
+			s.enqueueLocked(j)
+		}
+	}
+	if out != outcomeKilled {
+		s.dispatchLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Get returns a job by id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns job statuses in submission order, optionally filtered by
+// tenant.
+func (s *Scheduler) List(tenant string) []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		if tenant == "" || st.Tenant == tenant {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Cancel stops a job. A queued job is finalized immediately; a running
+// job stops at its next step; terminal jobs are left alone.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, errNoJob(id)
+	}
+	j.cancelF.Store(true)
+	dequeued := s.removeFromQueueLocked(j)
+	s.mu.Unlock()
+	if dequeued || j.Status().State == StatePaused {
+		j.finalizeExternal(StateCanceled, "canceled")
+	}
+	return j.Status(), nil
+}
+
+// Pause parks a job: a queued job is pulled from the queue, a running
+// job checkpoints and parks at its next step.
+func (s *Scheduler) Pause(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, errNoJob(id)
+	}
+	if terminal(j.Status().State) {
+		s.mu.Unlock()
+		return j.Status(), fmt.Errorf("serve: job %s is %s", id, j.Status().State)
+	}
+	j.pauseF.Store(true)
+	dequeued := s.removeFromQueueLocked(j)
+	s.mu.Unlock()
+	if dequeued {
+		j.publishState(StatePaused, "")
+		j.persistStatus()
+	}
+	return j.Status(), nil
+}
+
+// Resume returns a paused job to its tenant's queue.
+func (s *Scheduler) Resume(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, errNoJob(id)
+	}
+	if st := j.Status().State; st != StatePaused {
+		s.mu.Unlock()
+		return j.Status(), fmt.Errorf("serve: job %s is %s, not paused", id, st)
+	}
+	j.pauseF.Store(false)
+	j.publishState(StateQueued, "")
+	s.enqueueLocked(j)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return j.Status(), nil
+}
+
+func (s *Scheduler) removeFromQueueLocked(j *Job) bool {
+	t := j.Spec.Tenant
+	q := s.queues[t]
+	for i, cand := range q {
+		if cand == j {
+			s.queues[t] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) isKilled() bool {
+	select {
+	case <-s.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop drains the scheduler gracefully: running slices finish their
+// current step loop, then every incomplete job writes a checkpoint so a
+// restarted server resumes it bit-identically.
+func (s *Scheduler) Stop() error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	var firstErr error
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if err := j.CheckpointNow(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		j.persistStatus()
+	}
+	return firstErr
+}
+
+// Kill models a crash: running slices abort at their next step without
+// writing anything, and nothing is checkpointed or persisted beyond what
+// the periodic cadences already made durable.
+func (s *Scheduler) Kill() {
+	s.mu.Lock()
+	select {
+	case <-s.killed:
+	default:
+		close(s.killed)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func errNoJob(id string) error { return fmt.Errorf("serve: no job %q", id) }
+
+// TenantStats is one tenant's scheduling picture.
+type TenantStats struct {
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	MaxRunning int `json:"max_running"` // concurrency high-water mark
+	Quota      int `json:"quota"`
+}
+
+// Stats is the scheduler-wide observability snapshot.
+type Stats struct {
+	Workers int                    `json:"workers"`
+	Free    int                    `json:"free"`
+	Jobs    int                    `json:"jobs"`
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// Stats reports queue depths and concurrency per tenant.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Workers: s.cfg.Workers, Free: s.free, Jobs: len(s.jobs),
+		Tenants: make(map[string]TenantStats)}
+	for _, t := range s.tenants {
+		st.Tenants[t] = TenantStats{
+			Queued:     len(s.queues[t]),
+			Running:    s.running[t],
+			MaxRunning: s.maxRunning[t],
+			Quota:      s.cfg.TenantQuota,
+		}
+	}
+	return st
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gonamd/internal/ckpt"
+)
+
+// jobPath names one of a job's files in the state directory:
+// <dir>/<id>.<ext> with ext one of spec.json, ckpt, traj, status.json.
+func jobPath(dir, id, ext string) string {
+	return filepath.Join(dir, id+"."+ext)
+}
+
+// persistSpec durably records the normalized spec; it is the document of
+// record a rescan rebuilds the job from.
+func persistSpec(j *Job) error {
+	return ckpt.AtomicWriteFile(j.specPath(), func(w io.Writer) error {
+		_, err := w.Write(j.specJSON)
+		return err
+	})
+}
+
+// rescan rebuilds the scheduler's job table from the state directory
+// after a restart. Finished jobs come back as terminal records; paused
+// jobs come back paused; everything else is re-enqueued, resuming from
+// its checkpoint when one loads cleanly. Checkpoint failures are
+// distinguished: a version mismatch means the state cannot be
+// interpreted and the job fails, while corruption or truncation (a torn
+// write from a crash) discards the checkpoint and restarts the job from
+// step 0.
+func (s *Scheduler) rescan() error {
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), ".spec.json"); ok && !e.IsDir() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		j, err := s.recoverJob(id)
+		if err != nil {
+			return fmt.Errorf("serve: recovering job %s: %w", id, err)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		switch j.Status().State {
+		case StateDone, StateFailed, StateCanceled:
+			// Tombstone: listable, streams closed, never scheduled.
+		case StatePaused:
+			j.pauseF.Store(true)
+		default:
+			j.publishState(StateQueued, j.Status().Note)
+			s.enqueueLocked(j)
+		}
+		j.persistStatus()
+	}
+	return nil
+}
+
+// recoverJob rebuilds one job from its on-disk spec, status, and
+// checkpoint.
+func (s *Scheduler) recoverJob(id string) (*Job, error) {
+	specJSON, err := os.ReadFile(jobPath(s.cfg.StateDir, id, "spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, err
+	}
+	// The persisted spec was normalized at submission; normalizing again
+	// is idempotent and revalidates it against this server's defaults.
+	if err := spec.normalize(s.cfg.CheckpointEvery); err != nil {
+		return nil, err
+	}
+	j := newJob(id, s.cfg.StateDir, spec, specJSON)
+
+	var prev JobStatus
+	havePrev := false
+	if raw, err := os.ReadFile(j.statusPath()); err == nil {
+		if json.Unmarshal(raw, &prev) == nil && prev.ID == id {
+			havePrev = true
+		}
+	}
+	if havePrev {
+		j.updateStatus(func(st *JobStatus) {
+			st.Step = prev.Step
+			st.Frames = prev.Frames
+			st.Resumes = prev.Resumes
+			st.Note = prev.Note
+			st.Energy = prev.Energy
+			st.Potentials = prev.Potentials
+			if !prev.SubmittedAt.IsZero() {
+				st.SubmittedAt = prev.SubmittedAt
+			}
+			st.FinishedAt = prev.FinishedAt
+			st.State = prev.State
+		})
+		if terminal(prev.State) {
+			j.events.close()
+			return j, nil
+		}
+	}
+
+	snap, err := ckpt.LoadJobFile(j.ckptPath())
+	switch {
+	case err == nil:
+		if snap.ID != id {
+			j.finalizeExternal(StateFailed,
+				fmt.Sprintf("checkpoint belongs to job %s", snap.ID))
+			return j, nil
+		}
+		j.pendingResume = snap
+		note := fmt.Sprintf("resumed from checkpoint at step %d", snap.Step)
+		j.updateStatus(func(st *JobStatus) {
+			st.Resumes++
+			st.Step = snap.Step
+			st.Note = note
+		})
+	case os.IsNotExist(err):
+		// Never checkpointed: starts from step 0, nothing to report.
+	case errors.Is(err, ckpt.ErrVersionMismatch):
+		// The bytes are intact but this server cannot interpret them;
+		// restarting from step 0 would silently discard real progress, so
+		// surface the incompatibility instead.
+		j.finalizeExternal(StateFailed, fmt.Sprintf("cannot resume: %v", err))
+	case errors.Is(err, ckpt.ErrCorrupt), errors.Is(err, ckpt.ErrTruncated), errors.Is(err, ckpt.ErrBadMagic):
+		// A torn or damaged write from the crash: the checkpoint is
+		// unusable but the job itself is fine. Restart it from scratch.
+		_ = os.Remove(j.ckptPath())
+		_ = os.Remove(j.trajPath())
+		j.updateStatus(func(st *JobStatus) {
+			st.Step = 0
+			st.Frames = 0
+			st.Energy = nil
+			st.Potentials = nil
+			st.Note = fmt.Sprintf("checkpoint unreadable (%v); restarted from step 0", err)
+		})
+	default:
+		return nil, err
+	}
+	return j, nil
+}

@@ -295,3 +295,150 @@ func (o *engineOptions) betaOrAuto(ff *ForceField) float64 {
 	}
 	return 3.12 / ff.Cutoff
 }
+
+// EngineSpec is the wire form of an engine configuration: a
+// JSON-serializable description that maps 1:1 onto the functional
+// options, so services (the gonamdd job server) can accept engine
+// configuration over the network, validate it with the same rules the
+// options enforce, and construct the engine with NewEngine. The zero
+// value describes a plain sequential NVE engine.
+type EngineSpec struct {
+	// Engine selects the engine: "sequential"/"seq" (default) or
+	// "parallel"/"par".
+	Engine string `json:"engine,omitempty"`
+	// Workers is the parallel engine's goroutine count (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+	// PairlistSkin enables the sequential Verlet pair list (Å, 0 = off).
+	PairlistSkin float64 `json:"pairlist_skin,omitempty"`
+	// BlockListSkin enables the parallel Verlet block lists (Å, 0 = off).
+	BlockListSkin float64 `json:"blocklist_skin,omitempty"`
+	// PME enables smooth particle-mesh Ewald full electrostatics.
+	PME *PMESpec `json:"pme,omitempty"`
+	// RebalanceEvery, when non-nil, overrides the parallel engine's
+	// load-balancing interval (0 disables rebalancing; nil keeps the
+	// engine default). Measurement-based rebalancing changes the
+	// task-to-worker assignment from wall-clock timings, so services
+	// that promise bit-identical crash resume pin this to 0.
+	RebalanceEvery *int `json:"rebalance_every,omitempty"`
+	// Thermostat, when non-nil, selects NVT dynamics.
+	Thermostat *ThermostatSpec `json:"thermostat,omitempty"`
+	// HBondConstraints enables SHAKE/RATTLE on bonds to hydrogen
+	// (sequential engine only, incompatible with PME).
+	HBondConstraints bool `json:"hbond_constraints,omitempty"`
+}
+
+// PMESpec is the wire form of WithPME.
+type PMESpec struct {
+	GridSpacing float64 `json:"grid_spacing"`         // Å per mesh point, ≤
+	Beta        float64 `json:"beta,omitempty"`       // Å⁻¹, 0 = auto from cutoff
+	MTSPeriod   int     `json:"mts_period,omitempty"` // impulse-MTS period, 0 = 1
+}
+
+// ThermostatSpec is the wire form of WithThermostat.
+type ThermostatSpec struct {
+	Kind        string  `json:"kind"`               // "rescale", "berendsen", "langevin"
+	Temperature float64 `json:"temperature"`        // target, K
+	Interval    int     `json:"interval,omitempty"` // rescale: steps between rescales (default 10)
+	Tau         float64 `json:"tau,omitempty"`      // berendsen: coupling constant, fs (default 100)
+	Gamma       float64 `json:"gamma,omitempty"`    // langevin: friction, 1/fs (default 0.005)
+	Seed        uint64  `json:"seed,omitempty"`     // langevin: noise stream seed
+}
+
+// New constructs the thermostat the spec describes.
+func (t *ThermostatSpec) New() (Thermostat, error) {
+	if !(t.Temperature > 0) {
+		return nil, fmt.Errorf("gonamd: thermostat temperature %g K must be positive", t.Temperature)
+	}
+	switch t.Kind {
+	case "rescale":
+		iv := t.Interval
+		if iv == 0 {
+			iv = 10
+		}
+		return &Rescale{Target: t.Temperature, Interval: iv}, nil
+	case "berendsen":
+		tau := t.Tau
+		if tau == 0 {
+			tau = 100
+		}
+		return &Berendsen{Target: t.Temperature, Tau: tau}, nil
+	case "langevin":
+		gamma := t.Gamma
+		if gamma == 0 {
+			gamma = 0.005
+		}
+		return &Langevin{Target: t.Temperature, Gamma: gamma, Seed: t.Seed}, nil
+	default:
+		return nil, fmt.Errorf("gonamd: unknown thermostat kind %q (want rescale, berendsen, or langevin)", t.Kind)
+	}
+}
+
+// Parallel reports whether the spec selects the parallel engine.
+func (s *EngineSpec) Parallel() (bool, error) {
+	switch s.Engine {
+	case "", "seq", "sequential":
+		return false, nil
+	case "par", "parallel":
+		return true, nil
+	default:
+		return false, fmt.Errorf("gonamd: unknown engine %q (want sequential or parallel)", s.Engine)
+	}
+}
+
+// options lowers the spec to functional options, with th (possibly nil)
+// as the already-constructed thermostat.
+func (s *EngineSpec) options(th Thermostat) []Option {
+	var opts []Option
+	if th != nil {
+		opts = append(opts, WithThermostat(th))
+	}
+	if s.PairlistSkin > 0 {
+		opts = append(opts, WithPairlist(s.PairlistSkin))
+	}
+	if s.BlockListSkin > 0 {
+		opts = append(opts, WithBlockLists(s.BlockListSkin))
+	}
+	if s.PME != nil {
+		mts := s.PME.MTSPeriod
+		if mts == 0 {
+			mts = 1
+		}
+		opts = append(opts, WithPME(s.PME.GridSpacing, s.PME.Beta, mts))
+	}
+	if s.RebalanceEvery != nil {
+		opts = append(opts, WithRebalanceEvery(*s.RebalanceEvery))
+	}
+	if s.HBondConstraints {
+		opts = append(opts, WithHBondConstraints())
+	}
+	return opts
+}
+
+// NewEngine constructs the engine the spec describes over the given
+// system, with every option validated by the same construction rules
+// NewSequential and NewParallel enforce. The returned Thermostat is the
+// instance the engine applies (nil for NVE) — exposed so callers that
+// checkpoint, like the job server, can snapshot and restore a Langevin
+// noise stream.
+func (s *EngineSpec) NewEngine(sys *System, ff *ForceField, st *State) (Engine, Thermostat, error) {
+	par, err := s.Parallel()
+	if err != nil {
+		return nil, nil, err
+	}
+	var th Thermostat
+	if s.Thermostat != nil {
+		if th, err = s.Thermostat.New(); err != nil {
+			return nil, nil, err
+		}
+	}
+	var eng Engine
+	if par {
+		eng, err = NewParallel(sys, ff, st, s.Workers, s.options(th)...)
+	} else {
+		eng, err = NewSequential(sys, ff, st, s.options(th)...)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, th, nil
+}
