@@ -426,11 +426,17 @@ func (j *Job) snapshotLocked() *ckpt.JobState {
 	return snap
 }
 
-// checkpointLocked flushes the trajectory and writes an atomic
-// checkpoint, making everything up to the current step durable.
+// checkpointLocked flushes and fsyncs the trajectory, then writes an
+// atomic checkpoint, making everything up to the current step durable.
+// The Sync ordering matters: a durable checkpoint must dominate the
+// durable frames even across power loss, or rewindTrajectory would
+// silently resume with a gap in the trajectory.
 func (j *Job) checkpointLocked() error {
 	if j.trajW != nil {
 		if err := j.trajW.Flush(); err != nil {
+			return err
+		}
+		if err := j.trajFile.Sync(); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -99,7 +100,10 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
-// Submit validates, persists, and enqueues a job.
+// Submit validates, persists, and enqueues a job. The fsync'd spec
+// write happens off the scheduler lock (only the id reservation and the
+// enqueue hold it) so a slow disk cannot stall dispatch, status
+// listing, or slice completions behind a submission.
 func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.normalize(s.cfg.CheckpointEvery); err != nil {
 		return JobStatus{}, err
@@ -115,10 +119,20 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.nextID++
+	s.mu.Unlock()
+
 	j := newJob(id, s.cfg.StateDir, spec, specJSON)
 	if err := persistSpec(j); err != nil {
-		s.mu.Unlock()
 		return JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		// A drain started while we were writing the spec; a restart would
+		// resurrect a job the caller was told failed, so take it back.
+		s.mu.Unlock()
+		os.Remove(j.specPath())
+		return JobStatus{}, fmt.Errorf("serve: scheduler is shutting down")
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"gonamd/internal/ckpt"
 )
 
 // waterJob is a small, fast MD job spec used across scheduler tests.
@@ -289,6 +292,101 @@ func TestRecoveryRescanDistinguishesCheckpointErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		waitState(t, s2, id, StateCanceled)
+	}
+}
+
+// TestRecoveryRescanSpecWithoutCheckpoint: a job whose spec is on disk
+// but that never reached its first checkpoint cadence (queued at
+// shutdown, or killed early) must come back as a fresh job at step 0 —
+// not prevent the server from restarting. Regression test: the ENOENT
+// from the missing checkpoint file used to be fmt-wrapped, os.IsNotExist
+// missed it, and NewScheduler failed for good.
+func TestRecoveryRescanSpecWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, Config{StateDir: dir, Workers: 1, SliceSteps: 10, CheckpointEvery: 1 << 30})
+	st, err := s.Submit(waterJob(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+	if _, err := os.Stat(jobPath(dir, st.ID, "ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("precondition: checkpoint must not exist, stat err = %v", err)
+	}
+
+	s2, err := NewScheduler(Config{StateDir: dir, Workers: 1, SliceSteps: 10, CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("restart with un-checkpointed job failed: %v", err)
+	}
+	defer s2.Stop()
+	done := waitState(t, s2, st.ID, StateDone)
+	if done.Step != 40 {
+		t.Errorf("finished at step %d, want 40", done.Step)
+	}
+	if done.Resumes != 0 {
+		t.Errorf("Resumes = %d, want 0 (never checkpointed, restarted from scratch)", done.Resumes)
+	}
+}
+
+// TestRescanReportsCheckpointStep: a resumable job's status must report
+// the checkpoint step immediately after rescan, before the lazily
+// applied resume snapshot runs its first slice — status/list endpoints
+// answer in that window. The scheduler is assembled by hand so rescan
+// runs without dispatch and the pre-slice status is observable
+// deterministically.
+func TestRescanReportsCheckpointStep(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, Config{StateDir: dir, Workers: 1, SliceSteps: 10, CheckpointEvery: 20})
+	st, err := s.Submit(waterJob(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job to checkpoint", func() bool {
+		_, err := os.Stat(jobPath(dir, st.ID, "ckpt"))
+		return err == nil
+	})
+	s.Kill()
+	snap, err := ckpt.LoadJobFile(jobPath(dir, st.ID, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step == 0 {
+		t.Fatal("precondition: checkpoint at step 0")
+	}
+
+	cfg, err := Config{StateDir: dir, Workers: 1, SliceSteps: 10, CheckpointEvery: 20}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &Scheduler{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		queues:     make(map[string][]*Job),
+		running:    make(map[string]int),
+		maxRunning: make(map[string]int),
+		free:       cfg.Workers,
+		nextID:     1,
+		killed:     make(chan struct{}),
+	}
+	if err := s2.rescan(); err != nil {
+		t.Fatal(err)
+	}
+	got := s2.jobs[st.ID].Status()
+	if got.Step != snap.Step {
+		t.Errorf("status after rescan reports step %d, want checkpoint step %d", got.Step, snap.Step)
+	}
+	if got.State != StateQueued {
+		t.Errorf("state after rescan = %q, want %q", got.State, StateQueued)
+	}
+	var onDisk JobStatus
+	raw, err := os.ReadFile(jobPath(dir, st.ID, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Step != snap.Step {
+		t.Errorf("persisted status reports step %d, want checkpoint step %d", onDisk.Step, snap.Step)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -130,13 +131,22 @@ func (s *Scheduler) recoverJob(id string) (*Job, error) {
 			return j, nil
 		}
 		j.pendingResume = snap
+		// Pre-seed the counters the snapshot will restore so that status
+		// publishes between now and the first slice (rescan re-queues the
+		// job, which copies j.step/j.frames into the status) report the
+		// checkpoint step instead of 0. applyResume recomputes frames
+		// authoritatively from the rewound trajectory.
+		j.step = snap.Step
+		if havePrev {
+			j.frames = prev.Frames
+		}
 		note := fmt.Sprintf("resumed from checkpoint at step %d", snap.Step)
 		j.updateStatus(func(st *JobStatus) {
 			st.Resumes++
 			st.Step = snap.Step
 			st.Note = note
 		})
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		// Never checkpointed: starts from step 0, nothing to report.
 	case errors.Is(err, ckpt.ErrVersionMismatch):
 		// The bytes are intact but this server cannot interpret them;
