@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race serve chaos bench bench-all benchdiff profile ci
+.PHONY: all vet build test race serve chaos fuzz bench bench-all benchdiff profile ci
 
 all: vet build test
 
@@ -40,16 +40,26 @@ chaos:
 		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections \
 		./internal/serve .
 
+# A short run of the cluster-builder fuzz target: the property checks
+# (coverage vs a brute-force pair scan, mask/exclusion consistency,
+# padding invariants) run on the seed corpus in `test`; fuzzing explores
+# random geometries beyond it. Part of `ci` — list-building bugs corrupt
+# forces silently, so the generator gets adversarial inputs on every
+# change.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzClusterPairs -fuzztime=20s ./internal/spatial
+
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
 # benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —
-# including the full-electrostatics step (BenchmarkStepParPME) — parsed
-# into BENCH_4.json (see README, "Benchmark records"). The step
-# benchmarks share a one-time ~92k-atom build + minimize, so the run
-# takes a few minutes.
+# including the full-electrostatics step (BenchmarkStepParPME) and the
+# cluster-pair steps (BenchmarkStepParCluster*) — parsed into
+# BENCH_5.json (see README, "Benchmark records"). The step benchmarks
+# share a one-time ~92k-atom build + minimize, so the run takes a few
+# minutes.
 bench:
 	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
 	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_4.json
+	| $(GO) run ./cmd/benchjson -o BENCH_5.json
 
 # Regression gate for the hot path: rerun the tracked benchmark suite
 # into BENCH_NEW.json (not committed) and compare the pinned step
@@ -76,4 +86,4 @@ profile: build
 	$(GO) run ./cmd/projections -json PROFILE.trace.jsonl > PROFILE.json
 	@echo "wrote PROFILE.trace.jsonl and PROFILE.json"
 
-ci: vet build race
+ci: vet build race fuzz

@@ -1,0 +1,121 @@
+package gonamd_test
+
+import (
+	"math"
+	"testing"
+
+	"gonamd"
+)
+
+// TestClusterF32ForceAccuracyApoA1: on the ApoA-I benchmark box, the
+// mixed-precision cluster kernel's per-atom forces must track the
+// float64 cluster kernel within a pinned relative bound. Pair math runs
+// in float32 but every partial sum crosses into float64 at cluster
+// granularity (≤ 8 terms), so the error stays near single-precision
+// rounding instead of growing with the ~300-pair per-atom sums.
+func TestClusterF32ForceAccuracyApoA1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the ApoA-I box")
+	}
+	sys, st, err := gonamd.BuildSystem(gonamd.ApoA1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := gonamd.StandardForceField(9.0)
+	// Relax the as-built contacts first: the synthetic structure starts
+	// on near-singular r⁻¹² clashes whose float32 evaluation error would
+	// swamp the steady-state accuracy this test pins. The minimizer
+	// itself runs on the float64 cluster path for speed.
+	m, err := gonamd.NewSequential(sys, ff, st, gonamd.WithClusterLists(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Minimize(60, 0.2)
+
+	eval := func(mixed bool) ([]gonamd.V3, gonamd.Energies) {
+		opts := []gonamd.Option{gonamd.WithClusterLists(4, 4)}
+		if mixed {
+			opts = append(opts, gonamd.WithMixedPrecision())
+		}
+		e, err := gonamd.NewSequential(sys, ff, st.Clone(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en := e.ComputeForces()
+		return e.Forces(), en
+	}
+	f64F, en64 := eval(false)
+	f32F, en32 := eval(true)
+
+	// Relative to the force scale of the configuration: per-atom
+	// absolute errors on near-cancelling small forces are meaningless.
+	scale := 0.0
+	for i := range f64F {
+		if n := f64F[i].Norm(); n > scale {
+			scale = n
+		}
+	}
+	worst := 0.0
+	for i := range f64F {
+		if d := f32F[i].Sub(f64F[i]).Norm() / scale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 5e-5 {
+		t.Errorf("worst per-atom force error %.3g of the force scale exceeds the 5e-5 bound", worst)
+	}
+	for _, e := range []struct {
+		name     string
+		f32, f64 float64
+	}{{"vdw", en32.VdW, en64.VdW}, {"elec", en32.Elec, en64.Elec}} {
+		if d := math.Abs(e.f32-e.f64) / (1 + math.Abs(e.f64)); d > 1e-5 {
+			t.Errorf("%s energy relative error %.3g exceeds 1e-5 (%.6f vs %.6f)", e.name, d, e.f32, e.f64)
+		}
+	}
+}
+
+// TestClusterF32NVEDrift: 500 steps of NVE dynamics under the
+// mixed-precision cluster kernels must conserve total energy within the
+// same pinned bound the PME drift test uses — single-precision pair
+// math must not introduce a systematic energy leak.
+func TestClusterF32NVEDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long NVE run")
+	}
+	sys, st, err := gonamd.BuildSystem(gonamd.WaterBoxSpec(12, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := gonamd.StandardForceField(5.5)
+	// Relax the synthetic starting structure first (see
+	// TestPMENVEDriftDifferential): as-built contacts dwarf any drift.
+	m, err := gonamd.NewSequential(sys, ff, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Minimize(200, 0.2)
+
+	e, err := gonamd.NewSequential(sys, ff, st,
+		gonamd.WithClusterLists(4, 4), gonamd.WithMixedPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps, dt = 500, 0.5
+	e0 := e.Energies().Total()
+	kin := e.Energies().Kinetic
+	worst := 0.0
+	for s := 0; s < steps; s++ {
+		e.Step(dt)
+		if d := math.Abs(e.Energies().Total() - e0); d > worst {
+			worst = d
+		}
+	}
+	if e.ClusterRebuilds() < 2 {
+		t.Fatalf("run exercised %d list rebuilds, want ≥ 2", e.ClusterRebuilds())
+	}
+	// Pinned bound: total-energy excursions stay under 2% of the kinetic
+	// energy scale over the whole run.
+	if bound := 0.02 * kin; worst > bound {
+		t.Fatalf("NVE drift %.4f kcal/mol exceeds bound %.4f (kinetic %.2f)", worst, bound, kin)
+	}
+}

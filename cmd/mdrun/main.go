@@ -47,6 +47,9 @@ func main() {
 	trajEvery := flag.Int("trajevery", 10, "write a trajectory frame every N steps")
 	shake := flag.Bool("shake", false, "constrain bonds to hydrogen (sequential engine; allows -dt 2)")
 	skin := flag.Float64("skin", 0, "Verlet list skin, Å (0 = off; seq pairlist / par block lists)")
+	cluster := flag.String("cluster", "", "M×N cluster pair lists, e.g. 4x4 or 4x8 (replaces -skin lists)")
+	f32 := flag.Bool("f32", false, "mixed-precision cluster kernels: float32 pair math, float64 reduction (requires -cluster)")
+	clusterSkin := flag.Float64("cluster-skin", 0, "cluster list skin override, Å (0 = default 1.5; requires -cluster)")
 	pme := flag.Bool("pme", false, "full electrostatics: smooth particle-mesh Ewald")
 	grid := flag.Float64("grid", 1.0, "PME mesh spacing, Å (mesh dims round up to powers of two)")
 	ewaldBeta := flag.Float64("ewald-beta", 0, "Ewald splitting parameter, 1/Å (0 = auto from cutoff)")
@@ -138,6 +141,19 @@ func main() {
 	if *pme {
 		opts = append(opts, gonamd.WithPME(*grid, *ewaldBeta, *mts))
 	}
+	var clM, clN int
+	if *cluster != "" {
+		if _, err := fmt.Sscanf(*cluster, "%dx%d", &clM, &clN); err != nil {
+			log.Fatalf("bad -cluster %q: want MxN, e.g. 4x4", *cluster)
+		}
+		opts = append(opts, gonamd.WithClusterLists(clM, clN))
+	}
+	if *clusterSkin > 0 {
+		opts = append(opts, gonamd.WithClusterSkin(*clusterSkin))
+	}
+	if *f32 {
+		opts = append(opts, gonamd.WithMixedPrecision())
+	}
 	if tlog != nil {
 		opts = append(opts, gonamd.WithTrace(tlog))
 	}
@@ -173,6 +189,17 @@ func main() {
 	}
 	if *skin > 0 {
 		fmt.Printf("verlet lists: skin %.2f Å\n", *skin)
+	}
+	if *cluster != "" {
+		mode := "fp64"
+		if *f32 {
+			mode = "fp32-mixed"
+		}
+		skinVal := *clusterSkin
+		if skinVal == 0 {
+			skinVal = 1.5
+		}
+		fmt.Printf("cluster lists: %dx%d, skin %.2f Å, %s\n", clM, clN, skinVal, mode)
 	}
 	if *pme {
 		beta := *ewaldBeta

@@ -164,3 +164,214 @@ func TestParallelBitwiseDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialClusterForces: cluster mode must agree with the
+// sequential direct engine within reduction tolerance, and — the bitwise
+// claim — the optimized M×N kernel must produce forces bitwise identical
+// to the scalar-kernel replay (forcefield.NonbondedClusterRef, which
+// evaluates the very same cluster list pair-by-pair through
+// ForceField.Nonbonded) through the full engine pipeline: sequential and
+// parallel at 1/2/4/8 workers.
+func TestDifferentialClusterForces(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+
+	ref, err := gonamd.NewSequential(sys, ff, st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEn := ref.ComputeForces()
+	refF := ref.Forces()
+
+	check := func(name string, en gonamd.Energies, forces []gonamd.V3) {
+		t.Helper()
+		if math.Abs(en.Potential()-refEn.Potential()) > 1e-7*(1+math.Abs(refEn.Potential())) {
+			t.Errorf("%s: potential %v, sequential direct %v", name, en.Potential(), refEn.Potential())
+		}
+		for i, f := range forces {
+			if d := f.Sub(refF[i]).Norm(); d > 1e-7*(1+refF[i].Norm()) {
+				t.Fatalf("%s: force on atom %d off by %v (%v vs %v)", name, i, d, f, refF[i])
+			}
+		}
+	}
+	snapshot := func(forces []gonamd.V3) []gonamd.V3 {
+		out := make([]gonamd.V3, len(forces))
+		copy(out, forces)
+		return out
+	}
+
+	for _, mn := range [][2]int{{4, 4}, {4, 8}} {
+		seqCl, err := gonamd.NewSequential(sys, ff, st.Clone(), gonamd.WithClusterLists(mn[0], mn[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("seq+clusters", seqCl.ComputeForces(), seqCl.Forces())
+		opt := snapshot(seqCl.Forces())
+		seqCl.UseReferenceClusterKernel(true)
+		seqCl.ComputeForces()
+		if !reflect.DeepEqual(opt, seqCl.Forces()) {
+			t.Fatalf("seq %dx%d: optimized kernel not bitwise identical to scalar replay", mn[0], mn[1])
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			parCl, err := gonamd.NewParallel(sys, ff, st.Clone(), workers, gonamd.WithClusterLists(mn[0], mn[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("parallel+clusters", parCl.ComputeForces(), parCl.Forces())
+			opt := snapshot(parCl.Forces())
+			parCl.UseReferenceClusterKernel(true)
+			parCl.ComputeForces()
+			if !reflect.DeepEqual(opt, parCl.Forces()) {
+				t.Fatalf("par %dx%d workers=%d: optimized kernel not bitwise identical to scalar replay",
+					mn[0], mn[1], workers)
+			}
+		}
+	}
+}
+
+// TestClusterRebuildVsReplay: a warm engine (cached cluster list, reused
+// builder scratch, replayed steps behind it) that is forced to rebuild
+// must continue bitwise identically to a fresh engine built at the same
+// positions — proving the cluster list is a pure function of the
+// positions and that no hidden state leaks from cached-replay steps into
+// rebuilds. (Lists built at *different* positions legitimately differ in
+// accumulation order, so that is the strongest bitwise statement there
+// is; see DESIGN.md, "Cluster kernels & precision contract".)
+func TestClusterRebuildVsReplay(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+	const dt = 0.5
+
+	type clusterEngine interface {
+		gonamd.Engine
+		ClusterRebuilds() int
+	}
+
+	run := func(name string, mk func(s *gonamd.State) clusterEngine) {
+		aSt := st.Clone()
+		warm := mk(aSt)
+		warm.ComputeForces() // first build
+		if warm.ClusterRebuilds() != 1 {
+			t.Fatalf("%s: expected first evaluation to build, got %d builds", name, warm.ClusterRebuilds())
+		}
+		// Jiggle within the drift bound: these evaluations must replay
+		// the cached list, leaving warm scratch and guard history behind.
+		for k := 0; k < 3; k++ {
+			for i := range aSt.Pos {
+				aSt.Pos[i] = aSt.Pos[i].Add(gonamd.V3{X: 1e-3, Y: -1e-3, Z: 1e-3})
+			}
+			warm.Invalidate()
+			warm.ComputeForces()
+		}
+		if warm.ClusterRebuilds() != 1 {
+			t.Fatalf("%s: jiggles were meant to replay, got %d builds", name, warm.ClusterRebuilds())
+		}
+		// Kick one atom past skin/2: the next evaluation must rebuild.
+		aSt.Pos[0] = aSt.Pos[0].Add(gonamd.V3{X: 2, Y: 0, Z: 0})
+		warm.Invalidate()
+		warm.ComputeForces()
+		if warm.ClusterRebuilds() != 2 {
+			t.Fatalf("%s: kick was meant to rebuild, got %d builds", name, warm.ClusterRebuilds())
+		}
+		warmF := make([]gonamd.V3, len(warm.Forces()))
+		copy(warmF, warm.Forces())
+
+		// A fresh engine built at the identical positions must produce the
+		// warm engine's rebuild bitwise, and continue bitwise under
+		// dynamics (same list, same rebuild schedule).
+		bSt := aSt.Clone()
+		fresh := mk(bSt)
+		fresh.ComputeForces()
+		if !reflect.DeepEqual(warmF, fresh.Forces()) {
+			t.Errorf("%s: warm rebuild not bitwise identical to fresh build", name)
+		}
+		for i := 0; i < 4; i++ {
+			warm.Step(dt)
+			fresh.Step(dt)
+		}
+		if !reflect.DeepEqual(aSt.Pos, bSt.Pos) || !reflect.DeepEqual(aSt.Vel, bSt.Vel) {
+			t.Errorf("%s: trajectories diverged bitwise after the shared rebuild", name)
+		}
+	}
+
+	run("seq", func(s *gonamd.State) clusterEngine {
+		e, err := gonamd.NewSequential(sys, ff, s, gonamd.WithClusterLists(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+
+	// Parallel at one worker: the task→worker assignment is trivially
+	// identical between the warm and fresh engines, so the comparison
+	// stays bitwise. (At higher worker counts the static assignment is
+	// derived from the binning at construction time, which differs
+	// between the two engines and permutes the reduction order.)
+	run("par", func(s *gonamd.State) clusterEngine {
+		e, err := gonamd.NewParallel(sys, ff, s, 1, gonamd.WithClusterLists(4, 4), gonamd.WithRebalanceEvery(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+}
+
+// TestClusterMixedPrecisionReproducible: mixed-precision trajectories
+// must be bitwise reproducible run-to-run for a fixed configuration —
+// the within-mode half of the precision contract — on both engines and
+// across worker counts.
+func TestClusterMixedPrecisionReproducible(t *testing.T) {
+	sys, st, ff := diffSystem(t)
+	const steps, dt = 10, 0.5
+
+	run := func(workers int) *gonamd.State {
+		s := st.Clone()
+		var eng gonamd.Engine
+		var err error
+		if workers == 0 {
+			eng, err = gonamd.NewSequential(sys, ff, s,
+				gonamd.WithClusterLists(4, 4), gonamd.WithMixedPrecision())
+		} else {
+			eng, err = gonamd.NewParallel(sys, ff, s, workers,
+				gonamd.WithClusterLists(4, 4), gonamd.WithMixedPrecision())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			eng.Step(dt)
+		}
+		return s
+	}
+
+	for _, workers := range []int{0, 1, 4} {
+		a, b := run(workers), run(workers)
+		if !reflect.DeepEqual(a.Pos, b.Pos) || !reflect.DeepEqual(a.Vel, b.Vel) {
+			t.Errorf("workers=%d: mixed-precision trajectory not bitwise reproducible", workers)
+		}
+	}
+
+	// And mixed precision must still track the float64 trajectory
+	// closely over a short run (the cross-mode half of the contract:
+	// close, but not bitwise).
+	f64 := func() *gonamd.State {
+		s := st.Clone()
+		eng, err := gonamd.NewSequential(sys, ff, s, gonamd.WithClusterLists(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			eng.Step(dt)
+		}
+		return s
+	}()
+	mixed := run(0)
+	worst := 0.0
+	for i := range mixed.Pos {
+		if d := mixed.Pos[i].Sub(f64.Pos[i]).Norm(); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("mixed-precision trajectory drifted %v Å from float64 in %d steps", worst, steps)
+	}
+}

@@ -249,6 +249,15 @@ func TestOptionValidation(t *testing.T) {
 			_, err := gonamd.NewParallel(sys, ff, cloneState(st), 2, gonamd.WithRebalanceEvery(-1))
 			return err
 		}},
+		{"cluster skin without cluster lists", "requires WithClusterLists", func() error {
+			_, err := gonamd.NewSequential(sys, ff, cloneState(st), gonamd.WithClusterSkin(0.5))
+			return err
+		}},
+		{"negative cluster skin", "out of range", func() error {
+			_, err := gonamd.NewSequential(sys, ff, cloneState(st),
+				gonamd.WithClusterLists(4, 4), gonamd.WithClusterSkin(-1))
+			return err
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -28,6 +28,14 @@ type JobState struct {
 
 	Step int64 // MD steps completed
 
+	// Precision names the numerical mode the trajectory was produced in
+	// ("fp64" or "fp32-mixed"; see gonamd.EngineSpec.PrecisionMode).
+	// Trajectories are bitwise reproducible within a mode but not across
+	// modes, so resume refuses a mode change. Empty in checkpoints that
+	// predate the field and means fp64 (gob tolerates the missing field,
+	// so JobVersion is unchanged).
+	Precision string
+
 	// Single-engine MD jobs: full phase space plus the Langevin noise
 	// stream (HasThermoRNG reports whether ThermoRNG is meaningful).
 	Pos, Vel     []vec.V3

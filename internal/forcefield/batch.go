@@ -87,10 +87,15 @@ func (p *Params) NonbondedBatch(b *PairBatch) (evdw, eelec, virial float64) {
 	rc2 := p.Cutoff * p.Cutoff
 	rs2 := p.SwitchDist * p.SwitchDist
 	denom := (rc2 - rs2) * (rc2 - rs2) * (rc2 - rs2)
+	invDenom := 1 / denom
+	invDenom6 := 6 * invDenom
+	sw3 := rc2 - 3*rs2
+	invRc2 := 1 / rc2
 	pair, pair14 := p.pair, p.pair14
 	nt := p.ntypes
 	scale14 := p.Scale14Elec
 	beta := p.EwaldBeta
+	invSqrtPiBeta := beta / math.SqrtPi
 
 	for k := 0; k < n; k++ {
 		x := b.R2[k]
@@ -110,31 +115,37 @@ func (p *Params) NonbondedBatch(b *PairBatch) (evdw, eelec, virial float64) {
 
 		invX := 1 / x
 		invX3 := invX * invX * invX
-		v := pp.A*invX3*invX3 - pp.B*invX3
-		dvdx := (-6*pp.A*invX3*invX3 + 3*pp.B*invX3) * invX
+		a6 := pp.A * invX3 * invX3
+		b3 := pp.B * invX3
+		v := a6 - b3
+		dvdx := (3*b3 - 6*a6) * invX
 
 		var ev, dEdxVdw float64
 		if x <= rs2 {
 			ev = v
 			dEdxVdw = dvdx
 		} else {
-			sw := (rc2 - x) * (rc2 - x) * (rc2 + 2*x - 3*rs2) / denom
-			dswdx := 6 * (rc2 - x) * (rs2 - x) / denom
+			d := rc2 - x
+			sw := d * d * (sw3 + 2*x) * invDenom
+			dswdx := d * (rs2 - x) * invDenom6
 			ev = v * sw
 			dEdxVdw = dvdx*sw + v*dswdx
 		}
 
 		r := math.Sqrt(x)
+		invR := r * invX
 		var ee, dEdxElec float64
 		if beta > 0 {
 			br := beta * r
 			erfc := math.Erfc(br)
-			ee = qq * erfc / r
-			dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)/x + erfc/(2*x*r))
+			ee = qq * erfc * invR
+			dEdxElec = -qq * (invSqrtPiBeta*math.Exp(-br*br)*invX + 0.5*erfc*invX*invR)
 		} else {
-			sh := 1 - x/rc2
-			ee = qq / r * sh * sh
-			dEdxElec = qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+			sh := 1 - x*invRc2
+			qir := qq * invR
+			shsh := sh * sh
+			ee = qir * shsh
+			dEdxElec = -qir * (0.5*shsh*invX + 2*sh*invRc2)
 		}
 
 		fOverR := -2 * (dEdxVdw + dEdxElec)

@@ -1,8 +1,10 @@
 package forcefield
 
 import (
+	"fmt"
 	"testing"
 
+	"gonamd/internal/spatial"
 	"gonamd/internal/vec"
 	"gonamd/internal/xrand"
 )
@@ -83,4 +85,79 @@ func BenchmarkDihedralKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _, _, _, _ = p.DihedralForce(DihedralBackbone, ri, rj, rk, rl, box)
 	}
+}
+
+// clusterBenchSetup builds a water-density random box with an M×N
+// cluster list at the ApoA-I production geometry (9 Å cutoff, 1.5 Å
+// skin) so the cluster kernels can be measured in isolation from the
+// engines. The reported ns/listed-pair is directly comparable to
+// BenchmarkNonbondedBatch's ns/pair.
+func clusterBenchSetup(b *testing.B, m, n int) (*Params, *spatial.ClusterList, *ClusterData, []int32, []float64, []float64, []float64, int) {
+	b.Helper()
+	const side, listDist = 97.3, 10.5
+	p := Standard(9.0)
+	box := vec.New(side, side, side)
+	rng := xrand.New(7)
+	sideF := float64(side)
+	na := int(sideF * sideF * sideF * 0.1) // ~bulk-water atom density
+	pos := make([]vec.V3, na)
+	types := make([]int32, na)
+	charges := make([]float64, na)
+	for i := range pos {
+		pos[i] = vec.New(rng.Range(0, side), rng.Range(0, side), rng.Range(0, side))
+		if i%3 == 0 {
+			types[i], charges[i] = TypeOW, -0.834
+		} else {
+			types[i], charges[i] = TypeHW, 0.417
+		}
+	}
+	builder, err := spatial.NewClusterBuilder(box, m, n, listDist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := builder.Build(pos, func(func(i, j int32, modified bool)) {})
+	d := &ClusterData{}
+	d.EnableF32(true)
+	d.LoadStatic(l, types, charges)
+	d.LoadPositions(l, pos)
+	ns := l.Slots()
+	ics := make([]int32, l.NumI())
+	for i := range ics {
+		ics[i] = int32(i)
+	}
+	pairs := 0
+	for _, e := range l.Entries {
+		for bit := e.Mask; bit != 0; bit &= bit - 1 {
+			pairs++
+		}
+	}
+	return p, l, d, ics, make([]float64, ns, ns+8), make([]float64, ns, ns+8), make([]float64, ns, ns+8), pairs
+}
+
+func BenchmarkNonbondedCluster(b *testing.B) {
+	for _, g := range [][2]int{{4, 4}, {8, 4}, {4, 8}, {8, 8}} {
+		b.Run(fmt.Sprintf("%dx%d", g[0], g[1]), func(b *testing.B) {
+			p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, g[0], g[1])
+			b.ResetTimer()
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				evdw, eelec, vir := p.NonbondedCluster(l, d, ics, fx, fy, fz)
+				acc += evdw + eelec + vir
+			}
+			_ = acc
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
+		})
+	}
+}
+
+func BenchmarkNonbondedCluster32(b *testing.B) {
+	p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, 4, 4)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		evdw, eelec, vir := p.NonbondedCluster32(l, d, ics, fx, fy, fz)
+		acc += evdw + eelec + vir
+	}
+	_ = acc
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
 }

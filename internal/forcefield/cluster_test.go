@@ -1,0 +1,211 @@
+package forcefield
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gonamd/internal/spatial"
+	"gonamd/internal/vec"
+)
+
+// clusterTestSystem is a random small system with exclusions for
+// kernel-level differential checks.
+type clusterTestSystem struct {
+	params  *Params
+	box     vec.V3
+	pos     []vec.V3
+	types   []int32
+	charges []float64
+	excl    map[[2]int32]bool // pair → modified?
+}
+
+func newClusterTestSystem(t *testing.T, seed int64, n int, beta float64) *clusterTestSystem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := &clusterTestSystem{
+		box: vec.New(14, 16, 13),
+		params: &Params{
+			AtomTypes: []AtomType{
+				{Name: "A", Epsilon: 0.15, Sigma: 3.2},
+				{Name: "B", Epsilon: 0.05, Sigma: 2.1, Epsilon14: 0.02, Sigma14: 1.9},
+				{Name: "C", Epsilon: 0.21, Sigma: 3.5},
+			},
+			Cutoff:      5.0,
+			SwitchDist:  4.0,
+			Scale14Elec: 0.8333,
+			Scale14VdW:  0.5,
+			EwaldBeta:   beta,
+		},
+		excl: make(map[[2]int32]bool),
+	}
+	if err := s.params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.pos = make([]vec.V3, n)
+	s.types = make([]int32, n)
+	s.charges = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s.pos[i] = vec.New(rng.Float64()*s.box.X, rng.Float64()*s.box.Y, rng.Float64()*s.box.Z)
+		s.types[i] = int32(rng.Intn(3))
+		s.charges[i] = rng.Float64()*0.8 - 0.4
+	}
+	for k := 0; k < n/3; k++ {
+		i, j := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		s.excl[[2]int32{i, j}] = rng.Intn(2) == 0
+	}
+	return s
+}
+
+func (s *clusterTestSystem) forEachExcl(fn func(i, j int32, modified bool)) {
+	n := int32(len(s.pos))
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if mod, ok := s.excl[[2]int32{i, j}]; ok {
+				fn(i, j, mod)
+			}
+		}
+	}
+}
+
+// evalCluster builds an M×N list and runs the given kernel, returning
+// per-atom forces plus energies.
+func (s *clusterTestSystem) evalCluster(t *testing.T, m, n int,
+	kern func(p *Params, l *spatial.ClusterList, d *ClusterData, ics []int32, fx, fy, fz []float64) (float64, float64, float64),
+	f32 bool) ([]vec.V3, float64, float64, float64) {
+	t.Helper()
+	b, err := spatial.NewClusterBuilder(s.box, m, n, s.params.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := b.Build(s.pos, s.forEachExcl)
+	var d ClusterData
+	d.EnableF32(f32)
+	d.LoadStatic(l, s.types, s.charges)
+	d.LoadPositions(l, s.pos)
+	ns := l.Slots()
+	// Capacity ns+8: the kernels take constant-length-8 re-slices of a
+	// cluster's slot run (see NonbondedCluster).
+	fx := make([]float64, ns, ns+8)
+	fy := make([]float64, ns, ns+8)
+	fz := make([]float64, ns, ns+8)
+	ics := make([]int32, l.NumI())
+	for i := range ics {
+		ics[i] = int32(i)
+	}
+	ev, ee, vir := kern(s.params, l, &d, ics, fx, fy, fz)
+	forces := make([]vec.V3, len(s.pos))
+	for sl, a := range l.Atom {
+		if a >= 0 {
+			forces[a] = vec.New(fx[sl], fy[sl], fz[sl])
+		}
+	}
+	return forces, ev, ee, vir
+}
+
+// bruteForces is the O(N²) scalar-kernel reference over the same
+// wrapped-position minimum image.
+func (s *clusterTestSystem) bruteForces() ([]vec.V3, float64, float64) {
+	n := len(s.pos)
+	forces := make([]vec.V3, n)
+	var evdw, eelec float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			key := [2]int32{int32(i), int32(j)}
+			mod, excluded := s.excl[key]
+			if excluded && !mod {
+				continue
+			}
+			d := vec.MinImage(vec.Wrap(s.pos[i], s.box), vec.Wrap(s.pos[j], s.box), s.box)
+			ev, ee, f := s.params.Nonbonded(s.types[i], s.types[j],
+				s.charges[i], s.charges[j], d.Norm2(), mod)
+			evdw += ev
+			eelec += ee
+			forces[i] = forces[i].Add(d.Scale(f))
+			forces[j] = forces[j].Sub(d.Scale(f))
+		}
+	}
+	return forces, evdw, eelec
+}
+
+// TestClusterKernelMatchesReference: the optimized float64 cluster
+// kernel must be bitwise identical to the scalar-kernel replay over the
+// same list, for several cluster geometries and both electrostatic
+// modes.
+func TestClusterKernelMatchesReference(t *testing.T) {
+	for _, beta := range []float64{0, 0.35} {
+		for _, mn := range [][2]int{{4, 4}, {4, 8}, {8, 4}, {2, 3}, {1, 1}} {
+			s := newClusterTestSystem(t, 42, 180, beta)
+			fOpt, ev1, ee1, vir1 := s.evalCluster(t, mn[0], mn[1], (*Params).NonbondedCluster, false)
+			fRef, ev2, ee2, vir2 := s.evalCluster(t, mn[0], mn[1], (*Params).NonbondedClusterRef, false)
+			if !reflect.DeepEqual(fOpt, fRef) {
+				t.Fatalf("beta=%g %dx%d: optimized forces differ from scalar replay", beta, mn[0], mn[1])
+			}
+			if ev1 != ev2 || ee1 != ee2 || vir1 != vir2 {
+				t.Fatalf("beta=%g %dx%d: energies differ: (%g,%g,%g) vs (%g,%g,%g)",
+					beta, mn[0], mn[1], ev1, ee1, vir1, ev2, ee2, vir2)
+			}
+		}
+	}
+}
+
+// TestClusterKernelMatchesBruteForce: summed per-atom forces and
+// energies agree with the O(N²) scalar reference within accumulation-
+// order tolerance.
+func TestClusterKernelMatchesBruteForce(t *testing.T) {
+	for _, beta := range []float64{0, 0.35} {
+		s := newClusterTestSystem(t, 7, 200, beta)
+		fCl, ev, ee, _ := s.evalCluster(t, 4, 4, (*Params).NonbondedCluster, false)
+		fRef, evRef, eeRef := s.bruteForces()
+		if relDiff(ev, evRef) > 1e-12 || relDiff(ee, eeRef) > 1e-12 {
+			t.Fatalf("beta=%g: energies (%g,%g) vs brute (%g,%g)", beta, ev, ee, evRef, eeRef)
+		}
+		for i := range fCl {
+			if d := fCl[i].Sub(fRef[i]).Norm(); d > 1e-9*(1+fRef[i].Norm()) {
+				t.Fatalf("beta=%g atom %d: force %v vs brute %v", beta, i, fCl[i], fRef[i])
+			}
+		}
+	}
+}
+
+// TestClusterKernel32Accuracy: the mixed-precision kernel tracks the
+// float64 kernel within float32 rounding accumulated over ≤8-term sums.
+func TestClusterKernel32Accuracy(t *testing.T) {
+	for _, beta := range []float64{0, 0.35} {
+		s := newClusterTestSystem(t, 11, 200, beta)
+		f64s, ev64, ee64, _ := s.evalCluster(t, 4, 4, (*Params).NonbondedCluster, false)
+		f32s, ev32, ee32, _ := s.evalCluster(t, 4, 4, (*Params).NonbondedCluster32, true)
+		var maxF float64
+		for i := range f64s {
+			if n := f64s[i].Norm(); n > maxF {
+				maxF = n
+			}
+		}
+		for i := range f64s {
+			if d := f32s[i].Sub(f64s[i]).Norm(); d > 1e-4*(1+maxF) {
+				t.Fatalf("beta=%g atom %d: f32 force error %g (f64 %v, f32 %v)", beta, i, d, f64s[i], f32s[i])
+			}
+		}
+		if relDiff(ev32, ev64) > 1e-4 || relDiff(ee32, ee64) > 1e-4 {
+			t.Fatalf("beta=%g: f32 energies (%g,%g) vs f64 (%g,%g)", beta, ev32, ev64, ee32, ee64)
+		}
+	}
+}
+
+// TestClusterKernel32Deterministic: repeated evaluation over the same
+// list is bitwise reproducible.
+func TestClusterKernel32Deterministic(t *testing.T) {
+	s := newClusterTestSystem(t, 3, 150, 0.35)
+	f1, ev1, ee1, vir1 := s.evalCluster(t, 4, 4, (*Params).NonbondedCluster32, true)
+	f2, ev2, ee2, vir2 := s.evalCluster(t, 4, 4, (*Params).NonbondedCluster32, true)
+	if !reflect.DeepEqual(f1, f2) || ev1 != ev2 || ee1 != ee2 || vir1 != vir2 {
+		t.Fatal("mixed-precision evaluation not bitwise reproducible")
+	}
+}
+

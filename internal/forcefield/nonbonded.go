@@ -37,11 +37,18 @@ func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evd
 		pp = p.pair[int(ti)*p.ntypes+int(tj)]
 	}
 
+	// One division and one square root per pair: every other reciprocal
+	// is a multiplication by a hoisted inverse or by invR = r·invX
+	// (= 1/r, since x = r²). The batch and cluster kernels use the
+	// identical expressions in the identical order so the three stay
+	// bitwise interchangeable.
 	x := r2 // work in x = r² to avoid sqrt where possible
 	invX := 1 / x
 	invX3 := invX * invX * invX
-	v := pp.A*invX3*invX3 - pp.B*invX3 // LJ energy before switching
-	dvdx := (-6*pp.A*invX3*invX3 + 3*pp.B*invX3) * invX
+	a6 := pp.A * invX3 * invX3
+	b3 := pp.B * invX3
+	v := a6 - b3 // LJ energy before switching
+	dvdx := (3*b3 - 6*a6) * invX
 
 	rs2 := p.SwitchDist * p.SwitchDist
 	var dEdxVdw float64
@@ -50,8 +57,12 @@ func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evd
 		dEdxVdw = dvdx
 	} else {
 		denom := (rc2 - rs2) * (rc2 - rs2) * (rc2 - rs2)
-		sw := (rc2 - x) * (rc2 - x) * (rc2 + 2*x - 3*rs2) / denom
-		dswdx := 6 * (rc2 - x) * (rs2 - x) / denom
+		invDenom := 1 / denom
+		invDenom6 := 6 * invDenom
+		sw3 := rc2 - 3*rs2
+		d := rc2 - x
+		sw := d * d * (sw3 + 2*x) * invDenom
+		dswdx := d * (rs2 - x) * invDenom6
 		evdw = v * sw
 		dEdxVdw = dvdx*sw + v*dswdx
 	}
@@ -59,16 +70,20 @@ func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evd
 	// Electrostatics: erfc-screened Ewald real-space term when EwaldBeta
 	// is set, otherwise Coulomb with the (1 - x/rc²)² shifting function.
 	r := math.Sqrt(x)
+	invR := r * invX
 	var dEdxElec float64
 	if beta := p.EwaldBeta; beta > 0 {
 		br := beta * r
 		erfc := math.Erfc(br)
-		eelec = qq * erfc / r
-		dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)/x + erfc/(2*x*r))
+		eelec = qq * erfc * invR
+		dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)*invX + 0.5*erfc*invX*invR)
 	} else {
-		sh := 1 - x/rc2
-		eelec = qq / r * sh * sh
-		dEdxElec = qq * (-0.5*sh*sh/(x*r) - 2*sh/(r*rc2))
+		invRc2 := 1 / rc2
+		sh := 1 - x*invRc2
+		qir := qq * invR
+		shsh := sh * sh
+		eelec = qir * shsh
+		dEdxElec = -qir * (0.5*shsh*invX + 2*sh*invRc2)
 	}
 
 	fOverR = -2 * (dEdxVdw + dEdxElec)

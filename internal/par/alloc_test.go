@@ -94,3 +94,60 @@ func TestStepPMEZeroAllocsRealSpace(t *testing.T) {
 		t.Fatalf("steady-state PME real-space Step allocates: %v allocs/step, want 0", allocs)
 	}
 }
+
+// TestStepClusterZeroAllocs guards the cluster-mode hot path: once the
+// cluster list is built and the worker pool is up, a dynamics step —
+// including list rebuilds, whose builder scratch, slot tables, and
+// worker slot buffers are all reused — must not allocate.
+func TestStepClusterZeroAllocs(t *testing.T) {
+	for _, mixed := range []bool{false, true} {
+		sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff := forcefield.Standard(7.0)
+		e, err := New(sys, ff, st, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RebalanceEvery = 0
+		if err := e.EnableClusterLists(4, 4, 0, mixed); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			e.Step(0.5)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+			t.Fatalf("mixed=%v: steady-state cluster Step allocates: %v allocs/step, want 0", mixed, allocs)
+		}
+	}
+}
+
+// TestStepClusterZeroAllocsTraced: cluster-mode steps stay
+// allocation-free with the trace recorder attached.
+func TestStepClusterZeroAllocsTraced(t *testing.T) {
+	sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := forcefield.Standard(7.0)
+	e, err := New(sys, ff, st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RebalanceEvery = 0
+	if err := e.EnableClusterLists(4, 4, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	l := trace.NewLog()
+	e.SetTrace(l)
+	for i := 0; i < 10; i++ {
+		e.Step(0.5)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+		t.Fatalf("traced steady-state cluster Step allocates: %v allocs/step, want 0", allocs)
+	}
+	if len(l.Records) == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+}

@@ -97,8 +97,11 @@ func (e *Engine) listsValid() bool {
 	limit := e.guard.Limit
 	if d2 > limit*limit {
 		// Bookkeeping: which cell (under the frozen binning the lists were
-		// built from) went dirty first.
-		e.dirtyCell = spatial.CellMovedBeyond(e.bins, e.St.Pos, e.refPos, e.Sys.Box, limit)
+		// built from) went dirty first. Cluster mode keeps no frozen
+		// binning, so the diagnostic does not apply there.
+		if e.clb == nil {
+			e.dirtyCell = spatial.CellMovedBeyond(e.bins, e.St.Pos, e.refPos, e.Sys.Box, limit)
+		}
 		return false
 	}
 	// The scan measured the true maximum displacement; seed the bound so

@@ -44,6 +44,7 @@ const (
 	taskSelf taskKind = iota
 	taskPair
 	taskBonded
+	taskCluster // one cell's run of the cell-grouped cluster order (clusterlist.go)
 )
 
 type task struct {
@@ -68,6 +69,13 @@ type wstate struct {
 	f     []vec.V3
 	touch []int32
 	mark  []bool
+
+	// Cluster mode (clusterlist.go): slot-indexed force buffers the cluster
+	// kernels accumulate into, flushed to f by touched lcm(M,N)-aligned slot
+	// block after the task loop. Invariant: all-zero between evaluations.
+	fxs, fys, fzs []float64
+	blkTouch      []int32
+	blkMark       []bool
 
 	// nbT/bT are this worker's summed nonbonded and bonded task times for
 	// the latest compute phase, read by the tracing emission (tracing.go).
@@ -132,6 +140,10 @@ type Engine struct {
 	// (see pme.go); the pair kernels then evaluate the erfc real-space
 	// term and Step follows the impulse-MTS reciprocal schedule.
 	pme *pme.Solver
+
+	// Cluster pair lists (EnableClusterLists); nil means disabled. Shares
+	// skin/refPos/guard bookkeeping with the block lists below.
+	clb *parClusterState
 
 	// Verlet block lists (EnableBlockLists); skin == 0 means disabled.
 	skin       float64
@@ -257,6 +269,8 @@ func (e *Engine) staticAssign() {
 			e.assign[ti] = e.cellHome[e.grid.BaseOf([]int{t.cellA, t.cellB})]
 		case taskBonded:
 			e.assign[ti] = ti % e.workers
+		case taskCluster:
+			e.assign[ti] = e.cellHome[t.cellA]
 		}
 	}
 }
@@ -290,15 +304,24 @@ func (e *Engine) Rebalance() {
 // (kinetic included).
 func (e *Engine) ComputeForces() seq.Energies {
 	if e.skin > 0 {
-		// Block lists: rebin (and snapshot reference positions) only when
-		// the lists went stale; otherwise both bins and lists are reused.
+		// Verlet lists (block or cluster): rebuild only when the lists
+		// went stale; otherwise both bins and lists are reused. Cluster
+		// lists rebuild in the driver so a rebuild step evaluates exactly
+		// the list a replay step would (bitwise rebuild-vs-replay).
 		e.rebuildNow = !e.listsValid()
 		if e.rebuildNow {
-			e.bins = e.binner.Bin(e.St.Pos)
+			if e.clb != nil {
+				e.rebuildClusters()
+			} else {
+				e.bins = e.binner.Bin(e.St.Pos)
+			}
 			copy(e.refPos, e.St.Pos)
 			e.guard.Reset()
 			e.listBuilt = true
 			e.rebuilds++
+		}
+		if e.clb != nil {
+			e.clb.data.LoadPositions(e.clb.list, e.St.Pos)
 		}
 	} else {
 		e.bins = e.binner.Bin(e.St.Pos)
@@ -398,6 +421,8 @@ func (e *Engine) computeWorker(w int) {
 		switch {
 		case t.kind == taskBonded:
 			e.bondedRange(t.lo, t.hi, ws, &en)
+		case t.kind == taskCluster:
+			e.runClusterTask(t, ws, &en)
 		case e.skin > 0 && e.rebuildNow:
 			e.buildRunTask(ti, t, w, ws, &en)
 		case e.skin > 0:
@@ -422,6 +447,9 @@ func (e *Engine) computeWorker(w int) {
 		} else {
 			t.measured = 0.7*t.measured + 0.3*dt
 		}
+	}
+	if e.clb != nil {
+		e.flushClusterForces(ws)
 	}
 	ws.nbT, ws.bT = nbT, bT
 	slices.Sort(ws.touch)
@@ -585,6 +613,21 @@ func (e *Engine) Invalidate() {
 	}
 	if e.pme != nil {
 		e.pme.Invalidate()
+	}
+}
+
+// ResetLists drops the neighbor-list history so the next force
+// evaluation rebuilds the block or cluster lists from the positions it
+// sees, instead of replaying lists built at earlier positions. Replay
+// and rebuild agree on which pairs contribute, but not on the
+// accumulation order, so their sums differ in ulps. Dropping the history
+// makes the next evaluation a pure function of positions; the job
+// server calls this after every checkpoint so the uninterrupted
+// continuation stays bitwise identical to a run resumed from that
+// checkpoint. A no-op when no lists are enabled.
+func (e *Engine) ResetLists() {
+	if e.skin > 0 {
+		e.listBuilt = false
 	}
 }
 

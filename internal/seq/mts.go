@@ -22,7 +22,12 @@ func (e *Engine) computeSlowForces(dst []vec.V3) Energies {
 		e.forces[i] = vec.Zero
 	}
 	var en Energies
-	if e.plist != nil {
+	if e.clusters != nil {
+		if !e.clusters.valid(e.St, e.Sys.Box) {
+			e.buildClusterList()
+		}
+		e.nonbondedFromClusters(&en)
+	} else if e.plist != nil {
 		if !e.plist.valid(e.St, e.Sys.Box) {
 			e.buildPairlist()
 		}
@@ -105,6 +110,9 @@ func (m *MTS) Step(dtFast float64, k int) {
 		}
 		if e.plist != nil {
 			e.plist.guard.Advance(math.Sqrt(maxV2) * dtFast)
+		}
+		if e.clusters != nil {
+			e.clusters.guard.Advance(math.Sqrt(maxV2) * dtFast)
 		}
 		m.fastEn = e.computeFastForces(m.fast)
 		for i := range vel {

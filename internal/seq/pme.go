@@ -118,6 +118,9 @@ func (e *Engine) stepPME(dt float64) {
 	if e.plist != nil {
 		e.plist.guard.Advance(math.Sqrt(maxV2) * dt)
 	}
+	if e.clusters != nil {
+		e.clusters.guard.Advance(math.Sqrt(maxV2) * dt)
+	}
 	e.phaseEmit("integrate", trace.CatIntegration, t)
 	e.ComputeForces()
 	t = e.phaseNow()

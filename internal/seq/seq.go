@@ -67,6 +67,10 @@ type Engine struct {
 	plist      *pairlist
 	plRebuilds int
 
+	// clusters, when non-nil, switches nonbonded evaluation to M×N
+	// cluster pair lists (see clusterlist.go); plist is nil then.
+	clusters *clusterState
+
 	// pme, when non-nil, holds the full-electrostatics slow-force solver
 	// (see pme.go): the pair kernels then evaluate the erfc real-space
 	// term and Step follows the impulse-MTS reciprocal schedule.
@@ -172,7 +176,12 @@ func (e *Engine) ComputeForces() Energies {
 	}
 	var en Energies
 	t := e.phaseNow()
-	if e.plist != nil {
+	if e.clusters != nil {
+		if !e.clusters.valid(e.St, e.Sys.Box) {
+			e.buildClusterList()
+		}
+		e.nonbondedFromClusters(&en)
+	} else if e.plist != nil {
 		if !e.plist.valid(e.St, e.Sys.Box) {
 			e.buildPairlist()
 		}
@@ -317,8 +326,30 @@ func (e *Engine) Invalidate() {
 	if e.plist != nil {
 		e.plist.guard.Invalidate()
 	}
+	if e.clusters != nil {
+		e.clusters.guard.Invalidate()
+	}
 	if e.pme != nil {
 		e.pme.Invalidate()
+	}
+}
+
+// ResetLists drops the neighbor-list history so the next force
+// evaluation rebuilds every enabled list (atom-pair or cluster) from the
+// positions it sees, instead of replaying a list built at earlier
+// positions. Replay and rebuild agree on which pairs contribute (the
+// skin only admits extra pairs the kernels skip), but not on the
+// accumulation order, so their sums differ in ulps. Dropping the history
+// makes the next evaluation a pure function of positions; the job
+// server calls this after every checkpoint so the uninterrupted
+// continuation stays bitwise identical to a run resumed from that
+// checkpoint. A no-op when no lists are enabled.
+func (e *Engine) ResetLists() {
+	if e.plist != nil {
+		e.plist.refPos = nil
+	}
+	if e.clusters != nil {
+		e.clusters.list = nil
 	}
 }
 
@@ -373,6 +404,9 @@ func (e *Engine) Step(dt float64) {
 	}
 	if e.plist != nil {
 		e.plist.guard.Advance(math.Sqrt(maxV2) * dt)
+	}
+	if e.clusters != nil {
+		e.clusters.guard.Advance(math.Sqrt(maxV2) * dt)
 	}
 	e.phaseEmit("integrate", trace.CatIntegration, t)
 	// New forces + half kick.

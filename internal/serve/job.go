@@ -225,6 +225,17 @@ func (j *Job) ensure() error {
 // dropped (they will be regenerated identically), torn trailing frames
 // from a crash mid-write are discarded.
 func (j *Job) applyResume(snap *ckpt.JobState) error {
+	// Bit-identical resume only holds within one numerical mode: a
+	// checkpoint taken under fp64 replayed under fp32-mixed (or vice
+	// versa) would silently continue a different trajectory. Empty means
+	// fp64 — checkpoints that predate the field.
+	have := snap.Precision
+	if have == "" {
+		have = "fp64"
+	}
+	if want := j.Spec.Engine.PrecisionMode(); have != want {
+		return fmt.Errorf("serve: job %s checkpoint was taken in precision mode %s but the spec selects %s; trajectories are not comparable across modes — resubmit as a fresh job instead of resuming", j.ID, have, want)
+	}
 	if j.ens != nil {
 		if snap.Ensemble == nil {
 			return fmt.Errorf("serve: job %s checkpoint is not an ensemble snapshot", j.ID)
@@ -366,8 +377,32 @@ func (j *Job) emitCadence() error {
 		if err := j.checkpointLocked(); err != nil {
 			return err
 		}
+		j.rebaseListsLocked()
 	}
 	return nil
+}
+
+// rebaseListsLocked re-anchors a list-mode engine on the checkpoint just
+// written. A Verlet or cluster list carries history: forces depend on
+// where the active list was built, not just on the current positions, so
+// an engine resumed from a checkpoint (which builds a fresh list at the
+// checkpointed positions) would diverge from the uninterrupted run in
+// ulps. Invalidate plus ResetLists force the continuing engine to redo
+// exactly what the resumed one will — re-evaluate at the checkpointed
+// positions over a freshly built list — so both follow bitwise-identical
+// trajectories. Engines without lists already evaluate forces as a pure
+// function of positions and skip the extra evaluation this costs.
+func (j *Job) rebaseListsLocked() {
+	if j.eng == nil || !j.Spec.Engine.UsesLists() {
+		return
+	}
+	j.eng.Invalidate()
+	switch e := j.eng.(type) {
+	case *gonamd.Sequential:
+		e.ResetLists()
+	case *gonamd.Parallel:
+		e.ResetLists()
+	}
 }
 
 func (j *Job) runEnsembleSlice(n int, killed <-chan struct{}) sliceOutcome {
@@ -412,7 +447,8 @@ func (j *Job) runEnsembleSlice(n int, killed <-chan struct{}) sliceOutcome {
 
 // snapshotLocked captures the job's complete dynamic state.
 func (j *Job) snapshotLocked() *ckpt.JobState {
-	snap := &ckpt.JobState{ID: j.ID, SpecJSON: j.specJSON, Step: j.step}
+	snap := &ckpt.JobState{ID: j.ID, SpecJSON: j.specJSON, Step: j.step,
+		Precision: j.Spec.Engine.PrecisionMode()}
 	if j.ens != nil {
 		snap.Ensemble = j.ens.Snapshot()
 		return snap
@@ -453,7 +489,11 @@ func (j *Job) CheckpointNow() error {
 	if !j.built || terminal(j.Status().State) {
 		return nil
 	}
-	return j.checkpointLocked()
+	if err := j.checkpointLocked(); err != nil {
+		return err
+	}
+	j.rebaseListsLocked()
+	return nil
 }
 
 // complete finishes a job whose step budget is exhausted.
@@ -469,6 +509,7 @@ func (j *Job) pauseNow() sliceOutcome {
 	if err := j.checkpointLocked(); err != nil {
 		return j.finalize(StateFailed, err.Error())
 	}
+	j.rebaseListsLocked()
 	j.publishState(StatePaused, "")
 	j.persistStatus()
 	return outcomePaused

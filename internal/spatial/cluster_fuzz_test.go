@@ -1,0 +1,259 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gonamd/internal/vec"
+)
+
+// clusterCase is one sanitized fuzz input: a random periodic box, atom
+// count, list distance, cluster geometry, and exclusion set.
+type clusterCase struct {
+	box      vec.V3
+	pos      []vec.V3
+	listDist float64
+	m, n     int
+	excl     map[[2]int32]bool // pair → modified?
+}
+
+func sanitizeClusterCase(seed uint64, natoms uint16, bx, by, bz, listDist float64, m, n uint8) *clusterCase {
+	clampBox := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 12
+		}
+		v = math.Abs(v)
+		return 4 + math.Mod(v, 36) // [4, 40)
+	}
+	c := &clusterCase{
+		box: vec.New(clampBox(bx), clampBox(by), clampBox(bz)),
+		m:   1 + int(m)%8,
+		n:   1 + int(n)%8,
+	}
+	if math.IsNaN(listDist) || math.IsInf(listDist, 0) {
+		listDist = 5
+	}
+	minEdge := math.Min(c.box.X, math.Min(c.box.Y, c.box.Z))
+	c.listDist = 0.5 + math.Mod(math.Abs(listDist), minEdge-0.5)
+
+	na := int(natoms) % 300
+	rng := rand.New(rand.NewSource(int64(seed)))
+	c.pos = make([]vec.V3, na)
+	for i := range c.pos {
+		// Span [-box, 2·box) to exercise wrapping.
+		c.pos[i] = vec.New(
+			(rng.Float64()*3-1)*c.box.X,
+			(rng.Float64()*3-1)*c.box.Y,
+			(rng.Float64()*3-1)*c.box.Z,
+		)
+	}
+	// A handful of occasional exact duplicates / z-ties stress the
+	// deterministic tie-break.
+	for i := 2; i < na; i += 17 {
+		c.pos[i].Z = c.pos[i-1].Z
+	}
+	c.excl = make(map[[2]int32]bool)
+	for k := 0; k < na/4; k++ {
+		i, j := int32(rng.Intn(na)), int32(rng.Intn(na))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		c.excl[[2]int32{i, j}] = rng.Intn(2) == 0
+	}
+	return c
+}
+
+// forEachExcl enumerates the case's exclusions in the deterministic
+// (ascending i, then j) order topology.System.ForEachExcludedPair uses.
+func (c *clusterCase) forEachExcl(fn func(i, j int32, modified bool)) {
+	n := int32(len(c.pos))
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if mod, ok := c.excl[[2]int32{i, j}]; ok {
+				fn(i, j, mod)
+			}
+		}
+	}
+}
+
+// checkClusterList verifies the full cluster-list contract against the
+// O(N²) minimum-image reference:
+//   - Atom/SlotOf are inverse bijections over the real atoms,
+//   - every listed pair is an ordered (slot_j > slot_i) pair of distinct
+//     real atoms, listed exactly once, with Mod ⊆ Mask,
+//   - every atom pair within listDist is listed unless excluded,
+//   - no pair beyond listDist is listed (the per-pair distance filter),
+//   - excluded pairs are never listed; modified pairs within range carry
+//     the Mod flag.
+//
+// The distance assertions leave a relative slack band around the exact
+// listDist boundary: the builder filters with displacements computed
+// from wrapped coordinates (the kernels' arithmetic), which can differ
+// from the reference MinImage on raw positions by ulps, and the skin
+// rule has macroscopic slack there by design.
+func checkClusterList(t *testing.T, c *clusterCase, l *ClusterList) {
+	t.Helper()
+	na := len(c.pos)
+
+	if len(l.Atom)%lcm(c.m, c.n) != 0 {
+		t.Fatalf("slot count %d not a multiple of lcm(%d,%d)", len(l.Atom), c.m, c.n)
+	}
+	seenAtom := make(map[int32]bool)
+	for s, a := range l.Atom {
+		if a < 0 {
+			continue
+		}
+		if int(a) >= na || seenAtom[a] {
+			t.Fatalf("slot %d: atom %d out of range or duplicated", s, a)
+		}
+		seenAtom[a] = true
+		if l.SlotOf[a] != int32(s) {
+			t.Fatalf("SlotOf[%d] = %d, want %d", a, l.SlotOf[a], s)
+		}
+	}
+	if len(seenAtom) != na {
+		t.Fatalf("%d atoms placed, want %d", len(seenAtom), na)
+	}
+
+	type pairInfo struct{ modified bool }
+	listed := make(map[[2]int32]pairInfo)
+	for ic := 0; ic < l.NumI(); ic++ {
+		prevJ := int32(-1)
+		for _, e := range l.Entries[l.EntryOff[ic]:l.EntryOff[ic+1]] {
+			if e.J <= prevJ {
+				t.Fatalf("i-cluster %d: entries not strictly ascending by J (%d after %d)", ic, e.J, prevJ)
+			}
+			prevJ = e.J
+			if e.Mod&^e.Mask != 0 {
+				t.Fatalf("entry (%d,%d): Mod bits outside Mask", ic, e.J)
+			}
+			for bit := e.Mask; bit != 0; bit &= bit - 1 {
+				k := trailingZeros64(bit)
+				a, bb := k/l.N, k%l.N
+				is, js := ic*l.M+a, int(e.J)*l.N+bb
+				ai, aj := l.Atom[is], l.Atom[js]
+				if ai < 0 || aj < 0 {
+					t.Fatalf("entry (%d,%d) bit %d: padding slot listed", ic, e.J, k)
+				}
+				if js <= is {
+					t.Fatalf("entry (%d,%d) bit %d: slot order violated (%d,%d)", ic, e.J, k, is, js)
+				}
+				key := [2]int32{ai, aj}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if _, dup := listed[key]; dup {
+					t.Fatalf("pair (%d,%d) listed twice", key[0], key[1])
+				}
+				listed[key] = pairInfo{modified: e.Mod&(1<<uint(k)) != 0}
+			}
+		}
+	}
+
+	d2 := c.listDist * c.listDist
+	for i := 0; i < na; i++ {
+		for j := i + 1; j < na; j++ {
+			key := [2]int32{int32(i), int32(j)}
+			n2 := vec.MinImage(c.pos[i], c.pos[j], c.box).Norm2()
+			within := n2 <= d2*(1-1e-9)
+			beyond := n2 > d2*(1+1e-9)
+			mod, excluded := c.excl[key]
+			info, inList := listed[key]
+			switch {
+			case excluded && !mod:
+				if inList {
+					t.Fatalf("excluded pair (%d,%d) listed", i, j)
+				}
+			case within && !inList:
+				t.Fatalf("pair (%d,%d) within listDist %.3g but not listed", i, j, c.listDist)
+			case beyond && inList:
+				t.Fatalf("pair (%d,%d) at distance² %.6g listed beyond listDist %.3g", i, j, n2, c.listDist)
+			case inList && mod && !info.modified:
+				t.Fatalf("modified pair (%d,%d) listed without Mod flag", i, j)
+			case inList && !mod && info.modified:
+				t.Fatalf("pair (%d,%d) carries a spurious Mod flag", i, j)
+			}
+		}
+	}
+}
+
+func trailingZeros64(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func runClusterCase(t *testing.T, c *clusterCase) {
+	t.Helper()
+	b, err := NewClusterBuilder(c.box, c.m, c.n, c.listDist)
+	if err != nil {
+		t.Fatalf("NewClusterBuilder: %v", err)
+	}
+	l := b.Build(c.pos, c.forEachExcl)
+	checkClusterList(t, c, l)
+
+	// Determinism: an identical rebuild must produce an identical list.
+	snap := ClusterList{
+		M: l.M, N: l.N, Box: l.Box,
+		Atom:     append([]int32(nil), l.Atom...),
+		SlotOf:   append([]int32(nil), l.SlotOf...),
+		EntryOff: append([]int32(nil), l.EntryOff...),
+		Entries:  append([]ClusterPairEntry(nil), l.Entries...),
+	}
+	l2 := b.Build(c.pos, c.forEachExcl)
+	if !reflect.DeepEqual(snap.Atom, l2.Atom) || !reflect.DeepEqual(snap.SlotOf, l2.SlotOf) ||
+		!reflect.DeepEqual(snap.EntryOff, l2.EntryOff) || !reflect.DeepEqual(snap.Entries, l2.Entries) {
+		t.Fatal("rebuild from identical inputs produced a different list")
+	}
+}
+
+func FuzzClusterPairs(f *testing.F) {
+	// Seeded corpus: dense/sparse boxes, asymmetric boxes, every common
+	// cluster geometry, list distances from tiny to beyond the half-box.
+	f.Add(uint64(1), uint16(100), 18.0, 18.0, 18.0, 6.0, uint8(4), uint8(4))
+	f.Add(uint64(2), uint16(250), 24.0, 24.0, 24.0, 9.0, uint8(4), uint8(4))
+	f.Add(uint64(3), uint16(64), 10.0, 20.0, 35.0, 5.0, uint8(4), uint8(8))
+	f.Add(uint64(4), uint16(150), 15.0, 15.0, 15.0, 7.5, uint8(8), uint8(4))
+	f.Add(uint64(5), uint16(40), 8.0, 8.0, 8.0, 7.0, uint8(1), uint8(1))
+	f.Add(uint64(6), uint16(0), 12.0, 12.0, 12.0, 4.0, uint8(4), uint8(4))
+	f.Add(uint64(7), uint16(3), 30.0, 30.0, 30.0, 29.0, uint8(2), uint8(3))
+	f.Add(uint64(8), uint16(299), 9.0, 33.0, 14.0, 8.0, uint8(3), uint8(5))
+	f.Add(uint64(9), uint16(120), 40.0, 5.0, 40.0, 4.4, uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, natoms uint16, bx, by, bz, listDist float64, m, n uint8) {
+		runClusterCase(t, sanitizeClusterCase(seed, natoms, bx, by, bz, listDist, m, n))
+	})
+}
+
+// TestClusterBuilderProperties runs the fuzz property over a fixed sweep
+// so plain `go test` exercises the contract without the fuzz engine.
+func TestClusterBuilderProperties(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		c := sanitizeClusterCase(seed, uint16(30+seed*23),
+			10+float64(seed), 14+float64(seed*2), 12.0, 3+float64(seed)/2, uint8(seed), uint8(seed/3))
+		runClusterCase(t, c)
+	}
+}
+
+func TestClusterBuilderRejectsBadGeometry(t *testing.T) {
+	box := vec.New(10, 10, 10)
+	if _, err := NewClusterBuilder(box, 0, 4, 5); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := NewClusterBuilder(box, 4, 9, 5); err == nil {
+		t.Fatal("N=9 accepted")
+	}
+	if _, err := NewClusterBuilder(box, 4, 4, 0); err == nil {
+		t.Fatal("listDist=0 accepted")
+	}
+	if _, err := NewClusterBuilder(vec.New(0, 10, 10), 4, 4, 5); err == nil {
+		t.Fatal("degenerate box accepted")
+	}
+}

@@ -66,6 +66,10 @@ type engineOptions struct {
 	pairlistSkin float64 // seq: Verlet pair list skin, 0 = off
 	blockSkin    float64 // par: Verlet block list skin, 0 = off
 
+	clusterM, clusterN int     // cluster pair lists, 0 = off
+	clusterSkin        float64 // cluster list skin override (Å), 0 = default
+	mixedPrecision     bool    // float32 cluster fast path
+
 	pmeSet  bool
 	pmeGrid float64
 	pmeBeta float64 // 0 = auto (3.12/cutoff, erfc(3.12) ≈ 1e-5 at the cutoff)
@@ -116,6 +120,63 @@ func WithBlockLists(skin float64) Option {
 			return fmt.Errorf("gonamd: block list skin %g Å must be positive", skin)
 		}
 		o.blockSkin = skin
+		return nil
+	}
+}
+
+// WithClusterLists switches the engine's nonbonded path to M×N cluster
+// pair lists (GROMACS-style): atoms pack into spatial clusters of M
+// (i-side) and N (j-side) consecutive slots, the Verlet list pairs
+// clusters instead of atoms with a per-pair interaction bitmask, and the
+// kernel evaluates each M×N tile with the pair invariants hoisted.
+// Works on both engines; the parallel engine decomposes the list by
+// spatial cell and keeps its deterministic reduction, so cluster runs
+// stay bitwise reproducible for a fixed worker count and mode. M and N
+// must be in [1, 8] with M·N ≤ 64 (typical: 4×4 or 4×8). The list uses
+// the default skin and rebuilds under the same skin/2 drift rule as the
+// other list modes. Incompatible with WithPairlist and WithBlockLists —
+// each selects a different nonbonded evaluation strategy.
+func WithClusterLists(m, n int) Option {
+	return func(o *engineOptions) error {
+		if m < 1 || m > 8 || n < 1 || n > 8 || m*n > 64 {
+			return fmt.Errorf("gonamd: cluster geometry %dx%d out of range (M, N in [1, 8], M·N ≤ 64)", m, n)
+		}
+		o.clusterM, o.clusterN = m, n
+		return nil
+	}
+}
+
+// WithClusterSkin overrides the Verlet skin (Å) of the cluster pair
+// lists enabled by WithClusterLists. The skin trades list size against
+// rebuild frequency: every listed cluster pair within cutoff+skin is
+// re-evaluated each step, while the drift guard only rebuilds once an
+// atom has moved skin/2 from the list's reference positions — so a
+// smaller skin shrinks the per-step kernel work linearly in
+// (1+skin/cutoff)³ at the price of more frequent rebuilds. Correctness
+// never depends on the value: any positive skin obeys the same drift
+// rule. The default (1.5 Å) matches the atom-pair list modes; tighter
+// skins (0.5–0.75 Å) are usually a net win for large boxes where the
+// rebuild amortizes over hundreds of steps. Requires WithClusterLists.
+func WithClusterSkin(skin float64) Option {
+	return func(o *engineOptions) error {
+		if !(skin > 0) || skin > 1e6 {
+			return fmt.Errorf("gonamd: cluster skin %g out of range (want 0 < skin)", skin)
+		}
+		o.clusterSkin = skin
+		return nil
+	}
+}
+
+// WithMixedPrecision selects the float32 fast path for the cluster
+// kernels: pair interactions evaluate in float32 from float32 position
+// and parameter mirrors, with per-cluster partial sums reduced into
+// float64 accumulators, bounding rounding error to the ≤8-term tile sums.
+// Trajectories remain bitwise reproducible run-to-run for a fixed
+// configuration, but differ from float64 trajectories (see DESIGN.md,
+// "Cluster kernels & precision contract"). Requires WithClusterLists.
+func WithMixedPrecision() Option {
+	return func(o *engineOptions) error {
+		o.mixedPrecision = true
 		return nil
 	}
 }
@@ -202,6 +263,18 @@ func (o *engineOptions) validate() error {
 	if o.hbond && o.pmeSet {
 		return fmt.Errorf("gonamd: WithHBondConstraints and WithPME cannot be combined: the impulse-MTS PME step has no SHAKE/RATTLE projection")
 	}
+	if o.clusterM > 0 {
+		if o.pairlistSkin > 0 {
+			return fmt.Errorf("gonamd: WithClusterLists and WithPairlist cannot be combined: each selects a different nonbonded evaluation strategy")
+		}
+		if o.blockSkin > 0 {
+			return fmt.Errorf("gonamd: WithClusterLists and WithBlockLists cannot be combined: each selects a different nonbonded evaluation strategy")
+		}
+	} else if o.mixedPrecision {
+		return fmt.Errorf("gonamd: WithMixedPrecision requires WithClusterLists: only the cluster kernels have a float32 fast path")
+	} else if o.clusterSkin > 0 {
+		return fmt.Errorf("gonamd: WithClusterSkin requires WithClusterLists: the skin belongs to the cluster pair list")
+	}
 	return nil
 }
 
@@ -227,6 +300,11 @@ func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Seq
 	}
 	if o.pairlistSkin > 0 {
 		e.EnablePairlist(o.pairlistSkin)
+	}
+	if o.clusterM > 0 {
+		if err := e.EnableClusterLists(o.clusterM, o.clusterN, o.clusterSkin, o.mixedPrecision); err != nil {
+			return nil, err
+		}
 	}
 	if o.pmeSet {
 		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
@@ -275,6 +353,11 @@ func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Op
 			return nil, err
 		}
 	}
+	if o.clusterM > 0 {
+		if err := e.EnableClusterLists(o.clusterM, o.clusterN, o.clusterSkin, o.mixedPrecision); err != nil {
+			return nil, err
+		}
+	}
 	if o.pmeSet {
 		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
 			return nil, err
@@ -312,6 +395,17 @@ type EngineSpec struct {
 	PairlistSkin float64 `json:"pairlist_skin,omitempty"`
 	// BlockListSkin enables the parallel Verlet block lists (Å, 0 = off).
 	BlockListSkin float64 `json:"blocklist_skin,omitempty"`
+	// ClusterM/ClusterN enable M×N cluster pair lists (0 = off); see
+	// WithClusterLists for the geometry constraints.
+	ClusterM int `json:"cluster_m,omitempty"`
+	ClusterN int `json:"cluster_n,omitempty"`
+	// ClusterSkin overrides the cluster-list Verlet skin (Å, 0 = default
+	// 1.5); see WithClusterSkin for the size/rebuild trade-off.
+	ClusterSkin float64 `json:"cluster_skin,omitempty"`
+	// MixedPrecision selects the float32 cluster fast path; requires
+	// cluster lists. Changes the numerical trajectory (see DESIGN.md), so
+	// services must not resume a checkpoint across a precision-mode change.
+	MixedPrecision bool `json:"mixed_precision,omitempty"`
 	// PME enables smooth particle-mesh Ewald full electrostatics.
 	PME *PMESpec `json:"pme,omitempty"`
 	// RebalanceEvery, when non-nil, overrides the parallel engine's
@@ -373,6 +467,28 @@ func (t *ThermostatSpec) New() (Thermostat, error) {
 	}
 }
 
+// PrecisionMode names the numerical mode the spec's trajectory runs in:
+// "fp64" for full float64 evaluation, "fp32-mixed" for the
+// mixed-precision cluster fast path. Trajectories are bitwise
+// reproducible within a mode but differ across modes, so checkpoints
+// record this and services refuse to resume across a mode change.
+func (s *EngineSpec) PrecisionMode() string {
+	if s.MixedPrecision {
+		return "fp32-mixed"
+	}
+	return "fp64"
+}
+
+// UsesLists reports whether the spec enables any neighbor-list mode
+// (Verlet pair or block lists, or cluster lists). List-mode engines
+// carry list history — forces depend on where the current list was
+// built, not just on the current positions — so services that promise
+// bit-identical crash resume rebase such engines on every checkpoint
+// (Invalidate + ResetLists; see the job server).
+func (s *EngineSpec) UsesLists() bool {
+	return s.PairlistSkin > 0 || s.BlockListSkin > 0 || s.ClusterM > 0
+}
+
 // Parallel reports whether the spec selects the parallel engine.
 func (s *EngineSpec) Parallel() (bool, error) {
 	switch s.Engine {
@@ -404,6 +520,15 @@ func (s *EngineSpec) options(th Thermostat) []Option {
 			mts = 1
 		}
 		opts = append(opts, WithPME(s.PME.GridSpacing, s.PME.Beta, mts))
+	}
+	if s.ClusterM > 0 || s.ClusterN > 0 {
+		opts = append(opts, WithClusterLists(s.ClusterM, s.ClusterN))
+	}
+	if s.ClusterSkin > 0 {
+		opts = append(opts, WithClusterSkin(s.ClusterSkin))
+	}
+	if s.MixedPrecision {
+		opts = append(opts, WithMixedPrecision())
 	}
 	if s.RebalanceEvery != nil {
 		opts = append(opts, WithRebalanceEvery(*s.RebalanceEvery))

@@ -137,6 +137,74 @@ func BenchmarkStepParPME(b *testing.B) {
 	reportSteps(b)
 }
 
+// BenchmarkStepParCluster is the cluster-pair pipeline at 8 workers:
+// 8×8 cluster pair lists with a 0.5 Å skin, evaluated by the M×N kernel
+// (hoisted per-pair invariants, per-cluster accumulation, slot-force
+// flush into the sparse deterministic reduction). The speedup over
+// BenchmarkStepPar comes from the cluster layout — no per-candidate
+// batch building, branch-free operand staging per tile — and from the
+// tighter skin, which the amortized rebuild cost makes a net win at
+// this box size (see WithClusterSkin).
+func BenchmarkStepParCluster(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces() // build lists and warm per-worker buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
+// BenchmarkStepParClusterF32 is BenchmarkStepParCluster on the
+// mixed-precision fast path: float32 pair math over the cluster tiles,
+// float64 per-cluster reduction (see DESIGN.md for the accuracy and
+// determinism contract).
+func BenchmarkStepParClusterF32(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithMixedPrecision(), gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
+// BenchmarkStepSeqCluster is the sequential engine on the same 8×8
+// cluster lists and 0.5 Å skin, for the single-processor end of the
+// cluster scaling story.
+func BenchmarkStepSeqCluster(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewSequential(sys, ff, st,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
 // BenchmarkStepSeq is the sequential engine with its Verlet pairlist on
 // the same system, for the single-processor baseline of the scaling
 // story.
