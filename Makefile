@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race serve chaos fuzz bench bench-all benchdiff profile ci
+.PHONY: all vet build test race serve chaos fuzz bench bench-all benchdiff table-accuracy profile ci
 
 all: vet build test
 
@@ -40,32 +40,34 @@ chaos:
 		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections \
 		./internal/serve .
 
-# A short run of the cluster-builder fuzz target: the property checks
-# (coverage vs a brute-force pair scan, mask/exclusion consistency,
-# padding invariants) run on the seed corpus in `test`; fuzzing explores
-# random geometries beyond it. Part of `ci` — list-building bugs corrupt
-# forces silently, so the generator gets adversarial inputs on every
-# change.
+# Short runs of the fuzz targets (one -fuzz per invocation): the
+# cluster-builder geometry fuzzer, and the interaction-table fuzzer that
+# drives random parameter folds and the full r² domain against the
+# analytic kernels within an a-priori h² error bound. The property
+# checks run on the seed corpora in `test`; fuzzing explores beyond
+# them. Part of `ci` — list-building and table bugs corrupt forces
+# silently, so both get adversarial inputs on every change.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClusterPairs -fuzztime=20s ./internal/spatial
+	$(GO) test -run='^$$' -fuzz=FuzzInteractionTable -fuzztime=20s ./internal/forcefield
 
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
 # benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —
 # including the full-electrostatics step (BenchmarkStepParPME) and the
-# cluster-pair steps (BenchmarkStepParCluster*) — parsed into
-# BENCH_5.json (see README, "Benchmark records"). The step benchmarks
-# share a one-time ~92k-atom build + minimize, so the run takes a few
-# minutes.
+# cluster-pair steps in every numerical mode (BenchmarkStepParCluster*,
+# analytic/fp32/tabulated) — parsed into BENCH_6.json (see README,
+# "Benchmark records"). The step benchmarks share a one-time ~92k-atom
+# build + minimize, so the run takes a few minutes.
 bench:
 	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
 	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_5.json
+	| $(GO) run ./cmd/benchjson -o BENCH_6.json
 
 # Regression gate for the hot path: rerun the tracked benchmark suite
-# into BENCH_NEW.json (not committed) and compare the pinned step
-# benchmarks (^BenchmarkStepPar, ns/op) against the latest committed
-# BENCH_<n>.json. Fails if any pinned benchmark slows down more than 10%
-# or disappears.
+# into BENCH_NEW.json (not committed) and compare the pinned benchmarks
+# (the named hot-path list in cmd/benchdiff, ns/op) against the latest
+# committed BENCH_<n>.json. Fails if any pinned benchmark slows down
+# more than 10% or disappears.
 benchdiff:
 	{ $(GO) test -run='^$$' -bench='Nonbonded' -benchmem ./internal/forcefield && \
 	  $(GO) test -run='^$$' -bench='Step' -benchmem -benchtime=3x -timeout=30m ./internal/seq . ; } \
@@ -76,6 +78,15 @@ benchdiff:
 # tree still runs.
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=30m ./...
+
+# The interaction-table accuracy sweep: spacing → max relative force and
+# energy error of the tabulated kernels against the analytic ones, over
+# the physical separation range down into the repulsive wall. Shows the
+# h² convergence of the Hermite spline and where the default resolution
+# sits inside the production envelope (see DESIGN.md, "Tabulated
+# kernels").
+table-accuracy:
+	$(GO) run ./cmd/tableacc
 
 # Projections profile of a traced benchmark run: a short mdrun with the
 # parallel pipeline and a trace attached, analyzed into PROFILE.json

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -109,5 +110,32 @@ func TestLoadReportRejectsWrongSchema(t *testing.T) {
 	}
 	if _, err := loadReport(p); err == nil {
 		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestPinnedList: the named default pin list compiles to an anchored
+// regexp that matches exactly the listed hot-path benchmarks — cluster
+// and tabulated step pipelines included — and nothing else.
+func TestPinnedList(t *testing.T) {
+	re := regexp.MustCompile("^(" + strings.Join(pinned, "|") + ")$")
+	for _, name := range []string{
+		"BenchmarkStepParCluster",
+		"BenchmarkStepParClusterTab",
+		"BenchmarkStepParClusterTabF32",
+		"BenchmarkStepParClusterPMETab",
+		"BenchmarkNonbondedClusterTab/shifted",
+	} {
+		if !re.MatchString(name) {
+			t.Errorf("pinned benchmark %q not matched by the default pin list", name)
+		}
+	}
+	for _, name := range []string{
+		"BenchmarkMDStep",
+		"BenchmarkStepParClusterTabulatedExtra",
+		"BenchmarkNonbondedClusterTab/shifted/extra",
+	} {
+		if re.MatchString(name) {
+			t.Errorf("%q unexpectedly pinned (list must stay anchored and named)", name)
+		}
 	}
 }

@@ -17,13 +17,36 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"strings"
 )
+
+// pinned is the named list of hot-path benchmarks that may not regress:
+// the sequential and batched-parallel step pipelines, the cluster
+// pipeline in every numerical mode (analytic, fp32-mixed, tabulated),
+// and the full-electrostatics configurations. A name only participates
+// once both reports carry it, so pinning a benchmark here before the
+// next BENCH_<n>.json lands is safe.
+var pinned = []string{
+	"BenchmarkStepSeq",
+	"BenchmarkStepSeqCluster",
+	"BenchmarkStepPar",
+	"BenchmarkStepParPME",
+	"BenchmarkStepParCluster",
+	"BenchmarkStepParClusterF32",
+	"BenchmarkStepParClusterTab",
+	"BenchmarkStepParClusterTabF32",
+	"BenchmarkStepParClusterPME",
+	"BenchmarkStepParClusterPMETab",
+	"BenchmarkNonbondedCluster/8x8",
+	"BenchmarkNonbondedClusterTab/shifted",
+	"BenchmarkNonbondedClusterTab/ewald",
+}
 
 func main() {
 	log.SetFlags(0)
 	oldPath := flag.String("old", "", "baseline report (default: the highest BENCH_<n>.json here)")
 	newPath := flag.String("new", "", "fresh report from benchjson (required)")
-	pin := flag.String("pin", "^BenchmarkStepPar", "regexp of pinned benchmarks that may not regress")
+	pin := flag.String("pin", "", "regexp of pinned benchmarks that may not regress (default: the named hot-path list)")
 	metric := flag.String("metric", "ns/op", "metric to compare")
 	tol := flag.Float64("tol", 0.10, "allowed fractional regression before failing")
 	flag.Parse()
@@ -37,7 +60,11 @@ func main() {
 		}
 		*oldPath = p
 	}
-	pinRe, err := regexp.Compile(*pin)
+	pinExpr := *pin
+	if pinExpr == "" {
+		pinExpr = "^(" + strings.Join(pinned, "|") + ")$"
+	}
+	pinRe, err := regexp.Compile(pinExpr)
 	if err != nil {
 		log.Fatalf("benchdiff: bad -pin: %v", err)
 	}

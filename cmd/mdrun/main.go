@@ -49,6 +49,8 @@ func main() {
 	skin := flag.Float64("skin", 0, "Verlet list skin, Å (0 = off; seq pairlist / par block lists)")
 	cluster := flag.String("cluster", "", "M×N cluster pair lists, e.g. 4x4 or 4x8 (replaces -skin lists)")
 	f32 := flag.Bool("f32", false, "mixed-precision cluster kernels: float32 pair math, float64 reduction (requires -cluster)")
+	table := flag.Bool("table", false, "tabulated cluster kernels: r²-indexed interaction tables, no sqrt/erfc/exp in the pair loop (requires -cluster; combines with -f32)")
+	tableSpacing := flag.Float64("table-spacing", 0, "interaction table grid spacing, Å² (0 = default resolution; requires -table)")
 	clusterSkin := flag.Float64("cluster-skin", 0, "cluster list skin override, Å (0 = default 1.5; requires -cluster)")
 	pme := flag.Bool("pme", false, "full electrostatics: smooth particle-mesh Ewald")
 	grid := flag.Float64("grid", 1.0, "PME mesh spacing, Å (mesh dims round up to powers of two)")
@@ -59,6 +61,19 @@ func main() {
 	profile := flag.Bool("profile", false, "print a projections summary of the run's phase trace at exit")
 	tracePath := flag.String("trace", "", "write the phase trace as JSON Lines to this file (analyze with cmd/projections)")
 	flag.Parse()
+
+	// Contradictory table flags get CLI-level errors that name the flags,
+	// before any work happens (the options layer repeats the structural
+	// check in API terms for library use).
+	if *table && *cluster == "" {
+		log.Fatal("-table requires -cluster: the tabulated kernels only exist in cluster form (e.g. -cluster 8x8 -table)")
+	}
+	if *tableSpacing != 0 && !*table {
+		log.Fatalf("-table-spacing %g has no effect without -table", *tableSpacing)
+	}
+	if *tableSpacing < 0 {
+		log.Fatalf("-table-spacing %g Å² must be ≥ 0 (0 = default resolution)", *tableSpacing)
+	}
 
 	var sys *gonamd.System
 	var st *gonamd.State
@@ -154,6 +169,9 @@ func main() {
 	if *f32 {
 		opts = append(opts, gonamd.WithMixedPrecision())
 	}
+	if *table {
+		opts = append(opts, gonamd.WithTabulatedKernels(*tableSpacing))
+	}
 	if tlog != nil {
 		opts = append(opts, gonamd.WithTrace(tlog))
 	}
@@ -195,11 +213,21 @@ func main() {
 		if *f32 {
 			mode = "fp32-mixed"
 		}
+		if *table {
+			mode += "-tab"
+		}
 		skinVal := *clusterSkin
 		if skinVal == 0 {
 			skinVal = 1.5
 		}
 		fmt.Printf("cluster lists: %dx%d, skin %.2f Å, %s\n", clM, clN, skinVal, mode)
+	}
+	if *table {
+		if *tableSpacing > 0 {
+			fmt.Printf("interaction table: spacing %g Å²\n", *tableSpacing)
+		} else {
+			fmt.Printf("interaction table: default resolution (cutoff²/%d bins)\n", gonamd.DefaultTableBins)
+		}
 	}
 	if *pme {
 		beta := *ewaldBeta

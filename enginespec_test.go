@@ -89,6 +89,63 @@ func TestEngineSpecParallel(t *testing.T) {
 	}
 }
 
+// TestEngineSpecTabulated: the tabulated wire fields lower to
+// WithTabulatedKernels, and the spec-built engine reproduces the
+// option-built tabulated trajectory bitwise.
+func TestEngineSpecTabulated(t *testing.T) {
+	sys, st, ff := specSystem(t)
+
+	raw := `{
+		"engine": "sequential",
+		"cluster_m": 4, "cluster_n": 4,
+		"tabulated": true
+	}`
+	var spec gonamd.EngineSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	stA := st.Clone()
+	specEng, _, err := spec.NewEngine(sys, ff, stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stB := st.Clone()
+	optEng, err := gonamd.NewSequential(sys, ff, stB,
+		gonamd.WithClusterLists(4, 4), gonamd.WithTabulatedKernels(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		specEng.Step(0.5)
+		optEng.Step(0.5)
+	}
+	if !reflect.DeepEqual(stA.Pos, stB.Pos) || !reflect.DeepEqual(stA.Vel, stB.Vel) {
+		t.Fatal("spec-built tabulated engine diverged from option-built engine")
+	}
+}
+
+// TestEngineSpecPrecisionMode: the four numerical modes name themselves
+// distinctly — checkpoints record the string and services refuse to
+// resume across a change, so tabulation must be part of it.
+func TestEngineSpecPrecisionMode(t *testing.T) {
+	cases := []struct {
+		spec gonamd.EngineSpec
+		want string
+	}{
+		{gonamd.EngineSpec{}, "fp64"},
+		{gonamd.EngineSpec{MixedPrecision: true}, "fp32-mixed"},
+		{gonamd.EngineSpec{Tabulated: true}, "fp64-tab"},
+		{gonamd.EngineSpec{MixedPrecision: true, Tabulated: true}, "fp32-mixed-tab"},
+	}
+	for _, c := range cases {
+		if got := c.spec.PrecisionMode(); got != c.want {
+			t.Errorf("PrecisionMode(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
 // TestEngineSpecRejections: invalid specs fail construction with the
 // options layer's validation errors.
 func TestEngineSpecRejections(t *testing.T) {
@@ -104,6 +161,9 @@ func TestEngineSpecRejections(t *testing.T) {
 		{"unknown thermostat", gonamd.EngineSpec{Thermostat: &gonamd.ThermostatSpec{Kind: "maxwell", Temperature: 300}}},
 		{"cold thermostat", gonamd.EngineSpec{Thermostat: &gonamd.ThermostatSpec{Kind: "langevin"}}},
 		{"shake plus pme", gonamd.EngineSpec{HBondConstraints: true, PME: &gonamd.PMESpec{GridSpacing: 1}}},
+		{"tabulated without clusters", gonamd.EngineSpec{Tabulated: true}},
+		{"tabulated on blocklists", gonamd.EngineSpec{Engine: "par", BlockListSkin: 1, Tabulated: true}},
+		{"negative table spacing", gonamd.EngineSpec{ClusterM: 4, ClusterN: 4, Tabulated: true, TableSpacing: -0.1}},
 	}
 	for _, c := range cases {
 		if _, _, err := c.spec.NewEngine(sys, ff, st.Clone()); err == nil {

@@ -95,6 +95,10 @@ type PairBatch = forcefield.PairBatch
 // (forcefield.DefaultBatchSize is the engines' block size).
 var NewPairBatch = forcefield.NewPairBatch
 
+// DefaultTableBins is the bin count WithTabulatedKernels(0) auto-derives
+// its interaction-table spacing from: spacing = cutoff²/DefaultTableBins.
+const DefaultTableBins = forcefield.DefaultTableBins
+
 // Full electrostatics: both engines grow an
 // EnableFullElectrostatics(gridSpacing, beta, mtsPeriod) method that
 // switches them to smooth particle-mesh Ewald with impulse multiple

@@ -29,7 +29,8 @@ type JobState struct {
 	Step int64 // MD steps completed
 
 	// Precision names the numerical mode the trajectory was produced in
-	// ("fp64" or "fp32-mixed"; see gonamd.EngineSpec.PrecisionMode).
+	// ("fp64" or "fp32-mixed", with a "-tab" suffix when the tabulated
+	// cluster kernels were active; see gonamd.EngineSpec.PrecisionMode).
 	// Trajectories are bitwise reproducible within a mode but not across
 	// modes, so resume refuses a mode change. Empty in checkpoints that
 	// predate the field and means fp64 (gob tolerates the missing field,

@@ -136,16 +136,9 @@ func (p *Params) NonbondedBatch(b *PairBatch) (evdw, eelec, virial float64) {
 		invR := r * invX
 		var ee, dEdxElec float64
 		if beta > 0 {
-			br := beta * r
-			erfc := math.Erfc(br)
-			ee = qq * erfc * invR
-			dEdxElec = -qq * (invSqrtPiBeta*math.Exp(-br*br)*invX + 0.5*erfc*invX*invR)
+			ee, dEdxElec = elecEwaldReal(qq, r, invR, invX, beta, invSqrtPiBeta)
 		} else {
-			sh := 1 - x*invRc2
-			qir := qq * invR
-			shsh := sh * sh
-			ee = qir * shsh
-			dEdxElec = -qir * (0.5*shsh*invX + 2*sh*invRc2)
+			ee, dEdxElec = elecShiftedCoulomb(qq, invR, invX, x, invRc2)
 		}
 
 		fOverR := -2 * (dEdxVdw + dEdxElec)

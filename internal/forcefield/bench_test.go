@@ -150,6 +150,65 @@ func BenchmarkNonbondedCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkNonbondedClusterEwald is the analytic float64 kernel with
+// the Ewald real-space electrostatics on — the erfc/exp-bound
+// configuration the tabulated kernels exist to beat.
+func BenchmarkNonbondedClusterEwald(b *testing.B) {
+	p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, 8, 8)
+	pe := p.WithEwald(0.35)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		evdw, eelec, vir := pe.NonbondedCluster(l, d, ics, fx, fy, fz)
+		acc += evdw + eelec + vir
+	}
+	_ = acc
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
+}
+
+func BenchmarkNonbondedClusterTab(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		beta float64
+	}{{"shifted", 0}, {"ewald", 0.35}} {
+		b.Run(bench.name, func(b *testing.B) {
+			p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, 8, 8)
+			if bench.beta > 0 {
+				p = p.WithEwald(bench.beta)
+			}
+			tab, err := p.BuildInteractionTable(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				evdw, eelec, vir := p.NonbondedClusterTab(tab, l, d, ics, fx, fy, fz)
+				acc += evdw + eelec + vir
+			}
+			_ = acc
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
+		})
+	}
+}
+
+func BenchmarkNonbondedClusterTab32(b *testing.B) {
+	p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, 8, 8)
+	pe := p.WithEwald(0.35)
+	tab, err := pe.BuildInteractionTable(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		evdw, eelec, vir := pe.NonbondedClusterTab32(tab, l, d, ics, fx, fy, fz)
+		acc += evdw + eelec + vir
+	}
+	_ = acc
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
+}
+
 func BenchmarkNonbondedCluster32(b *testing.B) {
 	p, l, d, ics, fx, fy, fz, pairs := clusterBenchSetup(b, 4, 4)
 	b.ResetTimer()

@@ -73,21 +73,42 @@ func (p *Params) Nonbonded(ti, tj int32, qi, qj, r2 float64, modified bool) (evd
 	invR := r * invX
 	var dEdxElec float64
 	if beta := p.EwaldBeta; beta > 0 {
-		br := beta * r
-		erfc := math.Erfc(br)
-		eelec = qq * erfc * invR
-		dEdxElec = -qq * (beta/math.SqrtPi*math.Exp(-br*br)*invX + 0.5*erfc*invX*invR)
+		eelec, dEdxElec = elecEwaldReal(qq, r, invR, invX, beta, beta/math.SqrtPi)
 	} else {
-		invRc2 := 1 / rc2
-		sh := 1 - x*invRc2
-		qir := qq * invR
-		shsh := sh * sh
-		eelec = qir * shsh
-		dEdxElec = -qir * (0.5*shsh*invX + 2*sh*invRc2)
+		eelec, dEdxElec = elecShiftedCoulomb(qq, invR, invX, x, 1/rc2)
 	}
 
 	fOverR = -2 * (dEdxVdw + dEdxElec)
 	return evdw, eelec, fOverR
+}
+
+// elecEwaldReal is the erfc-screened Ewald real-space electrostatic term
+// qq·erfc(βr)/r and its derivative with respect to x = r². It is the one
+// shared definition of the expression the scalar, batch, and cluster
+// kernels all evaluate — hoisted so the three cannot drift apart; the
+// operations and their order are exactly the pre-hoist expressions, so
+// every caller stays bitwise identical to its previous inline form
+// (pinned by TestElecHelpersBitwiseIdentity). invSqrtPiBeta must be
+// β/√π, computed once by the caller.
+func elecEwaldReal(qq, r, invR, invX, beta, invSqrtPiBeta float64) (ee, dEdx float64) {
+	br := beta * r
+	erfc := math.Erfc(br)
+	ee = qq * erfc * invR
+	dEdx = -qq * (invSqrtPiBeta*math.Exp(-br*br)*invX + 0.5*erfc*invX*invR)
+	return ee, dEdx
+}
+
+// elecShiftedCoulomb is the cutoff-electrostatics counterpart of
+// elecEwaldReal: Coulomb with the (1 - x/rc²)² shifting function, again
+// the single shared definition for all float64 kernels (same bitwise
+// contract). invRc2 must be 1/rc², hoisted by the caller.
+func elecShiftedCoulomb(qq, invR, invX, x, invRc2 float64) (ee, dEdx float64) {
+	sh := 1 - x*invRc2
+	qir := qq * invR
+	shsh := sh * sh
+	ee = qir * shsh
+	dEdx = -qir * (0.5*shsh*invX + 2*sh*invRc2)
+	return ee, dEdx
 }
 
 // NonbondedEnergy returns only the total energy of a pair (for tests and

@@ -1,0 +1,40 @@
+package forcefield
+
+import "math"
+
+// TableForceError builds an interaction table at the given spacing and
+// returns the maximum relative force and energy error against the
+// analytic interaction over x ∈ [xMin, rc²), for a probe pair that
+// exercises all three tabulated components (water-oxygen LJ + charge).
+// The force error is measured on F = −2·dE/dx·r relative to the
+// per-pair force scale over the domain; shared by the accuracy sweep
+// test and cmd/tableacc.
+func TableForceError(p *Params, spacing, xMin float64) (forceErr, energyErr float64) {
+	tab, err := p.BuildInteractionTable(spacing)
+	if err != nil {
+		return math.Inf(1), math.Inf(1)
+	}
+	const ti, tj, qi, qj = TypeOW, TypeOW, -0.834, -0.834
+	rc2 := p.Cutoff * p.Cutoff
+	fScale, eScale := 0.0, 0.0
+	for x := xMin; x < rc2; x += 0.003 {
+		ev, ee, f := p.Nonbonded(ti, tj, qi, qj, x, false)
+		if a := math.Abs(f) * math.Sqrt(x); a > fScale {
+			fScale = a
+		}
+		if a := math.Abs(ev + ee); a > eScale {
+			eScale = a
+		}
+	}
+	for x := xMin; x < rc2; x += 0.003 {
+		evA, eeA, fA := p.Nonbonded(ti, tj, qi, qj, x, false)
+		evT, eeT, fT := p.NonbondedTab(tab, ti, tj, qi, qj, x, false)
+		if d := math.Abs(fT-fA) * math.Sqrt(x) / fScale; d > forceErr {
+			forceErr = d
+		}
+		if d := math.Abs((evT+eeT)-(evA+eeA)) / eScale; d > energyErr {
+			energyErr = d
+		}
+	}
+	return forceErr, energyErr
+}

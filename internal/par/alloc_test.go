@@ -123,6 +123,37 @@ func TestStepClusterZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestStepClusterTabZeroAllocs guards the tabulated hot path: the
+// interaction table is built once at EnableTabulatedKernels and shared
+// read-only across workers, so steady-state tabulated steps — in both
+// float64 and fp32-mixed table modes — must not allocate.
+func TestStepClusterTabZeroAllocs(t *testing.T) {
+	for _, mixed := range []bool{false, true} {
+		sys, st, err := molgen.Build(molgen.WaterBox(16, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff := forcefield.Standard(7.0)
+		e, err := New(sys, ff, st, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RebalanceEvery = 0
+		if err := e.EnableClusterLists(4, 4, 0, mixed); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EnableTabulatedKernels(0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			e.Step(0.5)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { e.Step(0.5) }); allocs != 0 {
+			t.Fatalf("mixed=%v: steady-state tabulated Step allocates: %v allocs/step, want 0", mixed, allocs)
+		}
+	}
+}
+
 // TestStepClusterZeroAllocsTraced: cluster-mode steps stay
 // allocation-free with the trace recorder attached.
 func TestStepClusterZeroAllocsTraced(t *testing.T) {

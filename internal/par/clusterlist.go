@@ -24,8 +24,9 @@ import (
 
 // parClusterState is the engine-side state of cluster-mode evaluation.
 type parClusterState struct {
-	mixed   bool // float32 fast path
-	useRef  bool // evaluate via the scalar-replay reference kernel (tests)
+	mixed   bool                         // float32 fast path
+	useRef  bool                         // evaluate via the scalar-replay reference kernel (tests)
+	tab     *forcefield.InteractionTable // tabulated kernels when non-nil
 	builder *spatial.ClusterBuilder
 	list    *spatial.ClusterList
 	data    forcefield.ClusterData
@@ -93,6 +94,27 @@ func (e *Engine) EnableClusterLists(m, n int, skin float64, mixed bool) error {
 	e.listBuilt = false
 	e.rebuilds = 0
 	e.listScans, e.listSkips = 0, 0
+	e.fresh = false
+	return nil
+}
+
+// EnableTabulatedKernels switches cluster-mode nonbonded evaluation to
+// the r²-indexed interaction table (see the sequential engine's method
+// for the contract). The table is built once here from the engine's
+// current force field and shared read-only by every worker; per-task
+// evaluation order, the touched-block flush, and the deterministic
+// sparse reduction are unchanged, so tabulated parallel runs stay
+// bitwise reproducible for a fixed worker count and mode and the
+// steady-state step stays allocation-free.
+func (e *Engine) EnableTabulatedKernels(spacing float64) error {
+	if e.clb == nil {
+		return seq.ErrTabNeedsClusters
+	}
+	tab, err := e.FF.BuildInteractionTable(spacing)
+	if err != nil {
+		return err
+	}
+	e.clb.tab = tab
 	e.fresh = false
 	return nil
 }
@@ -241,6 +263,10 @@ func (e *Engine) runClusterTask(t *task, ws *wstate, en *seq.Energies) {
 	}
 	var evdw, eelec, vir float64
 	switch {
+	case c.tab != nil && c.mixed:
+		evdw, eelec, vir = e.FF.NonbondedClusterTab32(c.tab, l, &c.data, ics, ws.fxs, ws.fys, ws.fzs)
+	case c.tab != nil:
+		evdw, eelec, vir = e.FF.NonbondedClusterTab(c.tab, l, &c.data, ics, ws.fxs, ws.fys, ws.fzs)
 	case c.mixed:
 		evdw, eelec, vir = e.FF.NonbondedCluster32(l, &c.data, ics, ws.fxs, ws.fys, ws.fzs)
 	case c.useRef:

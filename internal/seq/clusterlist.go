@@ -1,6 +1,7 @@
 package seq
 
 import (
+	"errors"
 	"math"
 
 	"gonamd/internal/forcefield"
@@ -19,8 +20,9 @@ const DefaultClusterSkin = 1.5
 // skin/2 drift rule shared with the other list modes.
 type clusterState struct {
 	skin    float64
-	mixed   bool // float32 fast path
-	useRef  bool // evaluate via the scalar-replay reference kernel (tests)
+	mixed   bool                          // float32 fast path
+	useRef  bool                          // evaluate via the scalar-replay reference kernel (tests)
+	tab     *forcefield.InteractionTable  // tabulated kernels when non-nil
 	builder *spatial.ClusterBuilder
 	list    *spatial.ClusterList
 	data    forcefield.ClusterData
@@ -65,6 +67,37 @@ func (e *Engine) EnableClusterLists(m, n int, skin float64, mixed bool) error {
 	e.fresh = false
 	return nil
 }
+
+// EnableTabulatedKernels switches cluster-mode nonbonded evaluation to
+// the r²-indexed interaction table: the inner loop becomes lookup + FMA
+// with no Sqrt/Erfc/Exp and no switching branch. spacing is the table
+// grid spacing in Å² (0 selects the default resolution); the table is
+// built once here from the engine's current force field, so this must
+// run after any electrostatics change (EnableFullElectrostatics swaps
+// the force field's Ewald splitting) — the constructors order it last.
+// Requires cluster lists (the tabulated kernels only exist in cluster
+// form); combined with the mixed fast path it selects the float32
+// tabulated kernel.
+//
+// Construct with gonamd.NewSequential(sys, ff, st,
+// gonamd.WithClusterLists(m, n), gonamd.WithTabulatedKernels(spacing))
+// instead where possible.
+func (e *Engine) EnableTabulatedKernels(spacing float64) error {
+	if e.clusters == nil {
+		return ErrTabNeedsClusters
+	}
+	tab, err := e.FF.BuildInteractionTable(spacing)
+	if err != nil {
+		return err
+	}
+	e.clusters.tab = tab
+	e.fresh = false
+	return nil
+}
+
+// ErrTabNeedsClusters rejects tabulated-kernel mode without cluster
+// lists; shared with the parallel engine's EnableTabulatedKernels.
+var ErrTabNeedsClusters = errors.New("gonamd: tabulated kernels require cluster lists (enable cluster lists first)")
 
 // UseReferenceClusterKernel toggles evaluation through the scalar-replay
 // reference kernel (forcefield.NonbondedClusterRef) instead of the
@@ -159,6 +192,10 @@ func (e *Engine) nonbondedFromClusters(en *Energies) {
 	}
 	var evdw, eelec, vir float64
 	switch {
+	case c.tab != nil && c.mixed:
+		evdw, eelec, vir = e.FF.NonbondedClusterTab32(c.tab, l, &c.data, c.ics, c.fxs, c.fys, c.fzs)
+	case c.tab != nil:
+		evdw, eelec, vir = e.FF.NonbondedClusterTab(c.tab, l, &c.data, c.ics, c.fxs, c.fys, c.fzs)
 	case c.mixed:
 		evdw, eelec, vir = e.FF.NonbondedCluster32(l, &c.data, c.ics, c.fxs, c.fys, c.fzs)
 	case c.useRef:

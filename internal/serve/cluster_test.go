@@ -31,7 +31,11 @@ func clusterSpecs() []JobSpec {
 	mixed := base
 	mixed.Name = "seq-cluster-f32"
 	mixed.Engine = gonamd.EngineSpec{ClusterM: 4, ClusterN: 4, MixedPrecision: true}
-	return []JobSpec{par, mixed}
+
+	tab := base
+	tab.Name = "seq-cluster-tab"
+	tab.Engine = gonamd.EngineSpec{ClusterM: 4, ClusterN: 4, Tabulated: true}
+	return []JobSpec{par, mixed, tab}
 }
 
 // rebaseEngine mirrors Job.rebaseListsLocked for in-process reference

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"gonamd"
+)
+
+// TestTabulatedAdmission: the scheduler's admission check rejects
+// tabulated specs that cannot construct — table mode without cluster
+// lists, or a negative spacing — at Submit time with an actionable
+// error, and admits a well-formed tabulated job.
+func TestTabulatedAdmission(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 1, SliceSteps: 25, CheckpointEvery: 1 << 30})
+	defer s.Stop()
+
+	spec := waterJob(50)
+	spec.Engine = gonamd.EngineSpec{Tabulated: true}
+	if _, err := s.Submit(spec); err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Errorf("tabulated without cluster lists: err = %v, want cluster-list admission error", err)
+	}
+
+	spec = waterJob(50)
+	spec.Engine = gonamd.EngineSpec{ClusterM: 4, ClusterN: 4, Tabulated: true, TableSpacing: -0.1}
+	if _, err := s.Submit(spec); err == nil || !strings.Contains(err.Error(), "table_spacing") {
+		t.Errorf("negative table_spacing: err = %v, want spacing admission error", err)
+	}
+
+	spec = waterJob(50)
+	spec.Engine = gonamd.EngineSpec{ClusterM: 4, ClusterN: 4, Tabulated: true}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("well-formed tabulated job rejected: %v", err)
+	}
+	waitState(t, s, st.ID, StateDone)
+}
+
+// TestTabulatedMismatchRejected: a checkpoint taken under the analytic
+// kernels must not silently continue under the tabulated ones (or vice
+// versa) — tabulation changes the numerical trajectory exactly like a
+// precision-mode flip, and the checkpoint's recorded mode carries the
+// "-tab" suffix so the resume guard catches it.
+func TestTabulatedMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Workers: 1, SliceSteps: 25, CheckpointEvery: 40}
+
+	s := newTestScheduler(t, cfg)
+	spec := waterJob(4000)
+	spec.Engine = gonamd.EngineSpec{ClusterM: 4, ClusterN: 4}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	waitFor(t, "a durable checkpoint", func() bool {
+		_, err := os.Stat(jobPath(dir, id, "ckpt"))
+		return err == nil
+	})
+	s.Kill()
+
+	// Flip the job to table mode in the on-disk spec — the document of
+	// record a rescan rebuilds the job from.
+	raw, err := os.ReadFile(jobPath(dir, id, "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tampered JobSpec
+	if err := json.Unmarshal(raw, &tampered); err != nil {
+		t.Fatal(err)
+	}
+	tampered.Engine.Tabulated = true
+	out, err := json.Marshal(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jobPath(dir, id, "spec.json"), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestScheduler(t, cfg)
+	defer s2.Stop()
+	got := waitState(t, s2, id, StateFailed)
+	if !strings.Contains(got.Note, "precision mode") {
+		t.Errorf("failure note %q does not name the precision-mode mismatch", got.Note)
+	}
+	if !strings.Contains(got.Note, "fp64-tab") {
+		t.Errorf("failure note %q does not name the tabulated mode", got.Note)
+	}
+}

@@ -69,6 +69,8 @@ type engineOptions struct {
 	clusterM, clusterN int     // cluster pair lists, 0 = off
 	clusterSkin        float64 // cluster list skin override (Å), 0 = default
 	mixedPrecision     bool    // float32 cluster fast path
+	tabulated          bool    // r²-indexed tabulated cluster kernels
+	tableSpacing       float64 // table grid spacing (Å²), 0 = default
 
 	pmeSet  bool
 	pmeGrid float64
@@ -181,6 +183,32 @@ func WithMixedPrecision() Option {
 	}
 }
 
+// WithTabulatedKernels switches the cluster kernels to r²-indexed
+// force/energy interaction tables: the combined Lennard-Jones +
+// electrostatics interaction (including the Ewald real-space term when
+// PME is on, and the vdW switching function) is precomputed once at
+// construction as quadratic splines of E and dE/d(r²) on a uniform r²
+// grid, and the pair loop becomes lookup + FMA — no Sqrt, no Erfc/Exp,
+// no switching branch. spacing is the grid spacing in Å² (0 selects the
+// default resolution, cutoff²/16384 bins, whose force error is well
+// under 1e-6 relative — see DESIGN.md "Tabulated kernels" for the
+// accuracy-vs-spacing table). Requires WithClusterLists; composes with
+// WithMixedPrecision (float32 tabulated kernel) and WithPME (the table
+// is built after the Ewald swap). Tabulated trajectories are bitwise
+// reproducible for a fixed configuration but numerically distinct from
+// analytic ones, so checkpoints record the mode and services refuse to
+// resume across a change.
+func WithTabulatedKernels(spacing float64) Option {
+	return func(o *engineOptions) error {
+		if spacing < 0 || spacing != spacing {
+			return fmt.Errorf("gonamd: table spacing %g Å² must be ≥ 0 (0 = default resolution)", spacing)
+		}
+		o.tabulated = true
+		o.tableSpacing = spacing
+		return nil
+	}
+}
+
 // WithPME enables smooth particle-mesh Ewald full electrostatics: erfc
 // real space inside the cutoff plus a reciprocal mesh sum on a grid of
 // at most gridSpacing Å per point, evaluated once every mtsPeriod steps
@@ -274,6 +302,8 @@ func (o *engineOptions) validate() error {
 		return fmt.Errorf("gonamd: WithMixedPrecision requires WithClusterLists: only the cluster kernels have a float32 fast path")
 	} else if o.clusterSkin > 0 {
 		return fmt.Errorf("gonamd: WithClusterSkin requires WithClusterLists: the skin belongs to the cluster pair list")
+	} else if o.tabulated {
+		return fmt.Errorf("gonamd: WithTabulatedKernels requires WithClusterLists: the tabulated kernels only exist in cluster form")
 	}
 	return nil
 }
@@ -308,6 +338,12 @@ func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Seq
 	}
 	if o.pmeSet {
 		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
+			return nil, err
+		}
+	}
+	// After any Ewald swap: the table folds the active electrostatics.
+	if o.tabulated {
+		if err := e.EnableTabulatedKernels(o.tableSpacing); err != nil {
 			return nil, err
 		}
 	}
@@ -363,6 +399,12 @@ func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Op
 			return nil, err
 		}
 	}
+	// After any Ewald swap: the table folds the active electrostatics.
+	if o.tabulated {
+		if err := e.EnableTabulatedKernels(o.tableSpacing); err != nil {
+			return nil, err
+		}
+	}
 	if o.trace != nil {
 		e.SetTrace(o.trace)
 	}
@@ -406,6 +448,15 @@ type EngineSpec struct {
 	// cluster lists. Changes the numerical trajectory (see DESIGN.md), so
 	// services must not resume a checkpoint across a precision-mode change.
 	MixedPrecision bool `json:"mixed_precision,omitempty"`
+	// Tabulated switches the cluster kernels to r²-indexed interaction
+	// tables (see WithTabulatedKernels); requires cluster lists. Like
+	// MixedPrecision it changes the numerical trajectory, so the
+	// precision mode records it and services refuse to resume a
+	// checkpoint across a tabulation change.
+	Tabulated bool `json:"tabulated,omitempty"`
+	// TableSpacing overrides the table grid spacing (Å², 0 = default
+	// resolution); only meaningful with Tabulated.
+	TableSpacing float64 `json:"table_spacing,omitempty"`
 	// PME enables smooth particle-mesh Ewald full electrostatics.
 	PME *PMESpec `json:"pme,omitempty"`
 	// RebalanceEvery, when non-nil, overrides the parallel engine's
@@ -469,14 +520,20 @@ func (t *ThermostatSpec) New() (Thermostat, error) {
 
 // PrecisionMode names the numerical mode the spec's trajectory runs in:
 // "fp64" for full float64 evaluation, "fp32-mixed" for the
-// mixed-precision cluster fast path. Trajectories are bitwise
-// reproducible within a mode but differ across modes, so checkpoints
-// record this and services refuse to resume across a mode change.
+// mixed-precision cluster fast path, with a "-tab" suffix when the
+// tabulated kernels replace the analytic interaction. Trajectories are
+// bitwise reproducible within a mode but differ across modes, so
+// checkpoints record this and services refuse to resume across a mode
+// change.
 func (s *EngineSpec) PrecisionMode() string {
+	mode := "fp64"
 	if s.MixedPrecision {
-		return "fp32-mixed"
+		mode = "fp32-mixed"
 	}
-	return "fp64"
+	if s.Tabulated {
+		mode += "-tab"
+	}
+	return mode
 }
 
 // UsesLists reports whether the spec enables any neighbor-list mode
@@ -529,6 +586,9 @@ func (s *EngineSpec) options(th Thermostat) []Option {
 	}
 	if s.MixedPrecision {
 		opts = append(opts, WithMixedPrecision())
+	}
+	if s.Tabulated {
+		opts = append(opts, WithTabulatedKernels(s.TableSpacing))
 	}
 	if s.RebalanceEvery != nil {
 		opts = append(opts, WithRebalanceEvery(*s.RebalanceEvery))

@@ -185,6 +185,104 @@ func BenchmarkStepParClusterF32(b *testing.B) {
 	reportSteps(b)
 }
 
+// BenchmarkStepParClusterTab is BenchmarkStepParCluster with the
+// r²-indexed tabulated kernels: same lists, same deterministic
+// reduction, but the pair loop is table lookup + FMA — no Sqrt, no
+// switching branch (and no Erfc/Exp when PME is on). The default table
+// resolution keeps the force error well inside the fp32-mixed envelope
+// (see DESIGN.md "Tabulated kernels").
+func BenchmarkStepParClusterTab(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithTabulatedKernels(0), gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
+// BenchmarkStepParClusterTabF32 combines the tabulated kernels with the
+// mixed-precision fast path: float32 table reconstruction from the
+// float32 coefficient mirror, float64 per-cluster reduction.
+func BenchmarkStepParClusterTabF32(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithMixedPrecision(), gonamd.WithTabulatedKernels(0),
+		gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
+// BenchmarkStepParClusterPME is the cluster pipeline with full
+// electrostatics: erfc real-space evaluated by the analytic cluster
+// kernel plus the reciprocal mesh sum on the 4-step impulse-MTS cycle.
+// Paired with BenchmarkStepParClusterPMETab below, it isolates what the
+// tabulated kernels buy when the real-space electrostatics actually
+// contain Erfc/Exp (the shifted-Coulomb StepParCluster baseline has
+// neither, so the table can only win back the Sqrt and the switching
+// branch there).
+func BenchmarkStepParClusterPME(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithPME(1.0, 3.12/benchCutoff, 4),
+		gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	eng.RecipForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
+// BenchmarkStepParClusterPMETab is BenchmarkStepParClusterPME with the
+// tabulated real-space kernel: the table folds erfc(βr)/r at build
+// time, so the pair loop runs no Sqrt, no Erfc, no Exp.
+func BenchmarkStepParClusterPMETab(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithClusterLists(8, 8), gonamd.WithClusterSkin(0.5),
+		gonamd.WithPME(1.0, 3.12/benchCutoff, 4),
+		gonamd.WithTabulatedKernels(0),
+		gonamd.WithRebalanceEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	eng.RecipForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
+}
+
 // BenchmarkStepSeqCluster is the sequential engine on the same 8×8
 // cluster lists and 0.5 Å skin, for the single-processor end of the
 // cluster scaling story.
