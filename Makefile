@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race serve chaos fuzz bench bench-all benchdiff table-accuracy profile ci
+.PHONY: all vet build test race serve metrics chaos fuzz bench bench-all benchdiff table-accuracy profile ci
 
 all: vet build test
 
@@ -28,6 +28,15 @@ race: vet
 serve:
 	$(GO) test -count=1 ./internal/serve ./cmd/gonamdd
 
+# The telemetry suite under the race detector: the FTDC codec
+# round-trip/recovery property tests and recorder concurrency tests,
+# the engine-facing overhead and trajectory-invariance guards at the
+# root, and the serve-layer metrics streaming/crash e2e. Also part of
+# `race` (./...) and the chaos list below.
+metrics: vet
+	$(GO) test -race -count=1 ./internal/ftdc
+	$(GO) test -race -count=1 -run 'Metrics' . ./internal/serve
+
 # The chaos/conformance suite: fault injection, reliable delivery, and
 # checkpoint recovery, run twice (-count=2) to flush out any hidden
 # run-to-run nondeterminism in the seeded fault streams. The forcefield
@@ -38,18 +47,22 @@ chaos:
 	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden|Determinism|PME' \
 		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
 		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections \
-		./internal/serve .
+		./internal/ftdc ./internal/serve .
 
 # Short runs of the fuzz targets (one -fuzz per invocation): the
 # cluster-builder geometry fuzzer, and the interaction-table fuzzer that
 # drives random parameter folds and the full r² domain against the
 # analytic kernels within an a-priori h² error bound. The property
 # checks run on the seed corpora in `test`; fuzzing explores beyond
-# them. Part of `ci` — list-building and table bugs corrupt forces
-# silently, so both get adversarial inputs on every change.
+# them. FuzzFTDCDecode drives malformed telemetry streams against the
+# chunked decoder: decoding must error cleanly, never panic, and
+# anything it accepts must re-encode bit-exactly. Part of `ci` —
+# list-building, table, and codec bugs corrupt data silently, so all
+# three get adversarial inputs on every change.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClusterPairs -fuzztime=20s ./internal/spatial
 	$(GO) test -run='^$$' -fuzz=FuzzInteractionTable -fuzztime=20s ./internal/forcefield
+	$(GO) test -run='^$$' -fuzz=FuzzFTDCDecode -fuzztime=20s ./internal/ftdc
 
 # The tracked performance suite: kernel benchmarks (ns/pair) and step
 # benchmarks (steps/sec, allocs/step) on the ApoA-I-scale system —

@@ -123,6 +123,7 @@ func TestPinnedList(t *testing.T) {
 		"BenchmarkStepParClusterTab",
 		"BenchmarkStepParClusterTabF32",
 		"BenchmarkStepParClusterPMETab",
+		"BenchmarkStepParMetrics",
 		"BenchmarkNonbondedClusterTab/shifted",
 	} {
 		if !re.MatchString(name) {
@@ -132,6 +133,7 @@ func TestPinnedList(t *testing.T) {
 	for _, name := range []string{
 		"BenchmarkMDStep",
 		"BenchmarkStepParClusterTabulatedExtra",
+		"BenchmarkStepParMetricsExtra",
 		"BenchmarkNonbondedClusterTab/shifted/extra",
 	} {
 		if re.MatchString(name) {

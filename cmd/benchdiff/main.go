@@ -30,6 +30,7 @@ var pinned = []string{
 	"BenchmarkStepSeq",
 	"BenchmarkStepSeqCluster",
 	"BenchmarkStepPar",
+	"BenchmarkStepParMetrics",
 	"BenchmarkStepParPME",
 	"BenchmarkStepParCluster",
 	"BenchmarkStepParClusterF32",

@@ -21,7 +21,33 @@ import (
 	"time"
 
 	"gonamd"
+	"gonamd/internal/ftdc"
 	"gonamd/internal/sysio"
+)
+
+// ensembleMetricsSchema is the telemetry layout for a replica-exchange
+// run: ladder-wide step counters plus exchange statistics, sampled by a
+// generic (non-engine) FTDC recorder.
+func ensembleMetricsSchema() ftdc.Schema {
+	return ftdc.Schema{
+		Version: ftdc.SchemaVersion,
+		Fields: []ftdc.Field{
+			{Name: "steps", Kind: ftdc.Counter},
+			{Name: "steps_per_sec", Kind: ftdc.Gauge},
+			{Name: "replica_steps", Kind: ftdc.Counter},
+			{Name: "exchanges_attempted", Kind: ftdc.Counter},
+			{Name: "exchanges_accepted", Kind: ftdc.Counter},
+		},
+	}
+}
+
+// Field indices of ensembleMetricsSchema.
+const (
+	emSteps = iota
+	emStepsPerSec
+	emReplicaSteps
+	emExchAttempted
+	emExchAccepted
 )
 
 func main() {
@@ -47,7 +73,12 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -ckpt before running")
 	tracePath := flag.String("trace", "", "write the Projections-style event log (JSON lines) here")
 	profile := flag.Bool("profile", false, "print a projections summary of the ensemble trace at exit")
+	metricsPath := flag.String("metrics", "", "write FTDC telemetry samples to this file (analyze with projections -ftdc)")
+	metricsEvery := flag.Duration("metricsevery", time.Second, "telemetry sampling interval; 0 samples only at exit (requires -metrics)")
 	flag.Parse()
+	if *metricsEvery < 0 {
+		log.Fatalf("-metricsevery %v must be ≥ 0 (0 = one sample at exit)", *metricsEvery)
+	}
 
 	var sys *gonamd.System
 	var st *gonamd.State
@@ -134,6 +165,41 @@ func main() {
 		fmt.Printf("resumed from %s at step %d\n", *ckptPath, ens.Step())
 	}
 
+	var mrec *ftdc.Recorder
+	var mfw *ftdc.FileWriter
+	if *metricsPath != "" {
+		fw, err := ftdc.CreateFile(*metricsPath, ensembleMetricsSchema())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mfw = fw
+		mrec = ftdc.NewRecorder(ftdc.Options{
+			Schema:      ensembleMetricsSchema(),
+			Interval:    *metricsEvery,
+			StepField:   emSteps,
+			RateField:   emStepsPerSec,
+			RuntimeBase: -1,
+			Sink:        fw,
+		})
+	}
+	// publishMetrics refreshes the recorder slots from the ensemble's
+	// counters; the sampler (ticker or final Close) snapshots them.
+	publishMetrics := func() {
+		if mrec == nil {
+			return
+		}
+		mrec.StoreInt(emSteps, ens.Step())
+		mrec.StoreInt(emReplicaSteps, ens.Step()*int64(ens.NumReplicas()))
+		att, acc := ens.ExchangeCounts()
+		var ta, tc int64
+		for i := range att {
+			ta += att[i]
+			tc += acc[i]
+		}
+		mrec.StoreInt(emExchAttempted, ta)
+		mrec.StoreInt(emExchAccepted, tc)
+	}
+
 	block := *every
 	if block <= 0 {
 		block = *exchange
@@ -160,6 +226,7 @@ func main() {
 			log.Fatal(err)
 		}
 		done += n
+		publishMetrics()
 		fmt.Printf("step %6d ", ens.Step())
 		for i := 0; i < ens.NumReplicas(); i++ {
 			fmt.Printf(" U%d=%8.1f", i, ens.Replica(i).Potential())
@@ -179,6 +246,18 @@ func main() {
 		*steps, *replicas, el.Round(time.Millisecond),
 		float64(*steps**replicas)/el.Seconds())
 
+	if mrec != nil {
+		publishMetrics()
+		err := mrec.Close()
+		if cerr := mfw.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing telemetry %s: %v", *metricsPath, err)
+		}
+		fmt.Printf("telemetry: %s (%d samples; analyze with projections -ftdc)\n",
+			*metricsPath, mrec.SampleCount())
+	}
 	if *ckptPath != "" {
 		if err := gonamd.SaveCheckpointFile(*ckptPath, ens.Snapshot()); err != nil {
 			log.Fatal(err)

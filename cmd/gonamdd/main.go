@@ -10,6 +10,7 @@
 //	gonamdd -addr :8765 -state /var/lib/gonamd
 //	curl -d '{"system":{"preset":"water","side":12},"steps":1000}' localhost:8765/jobs
 //	curl localhost:8765/jobs/j000001/events
+//	curl localhost:8765/jobs/j000001/metrics
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	slice := flag.Int("slice", 25, "scheduling quantum: engine steps per job slice")
 	quota := flag.Int("quota", 2, "per-tenant cap on concurrently running jobs")
 	ckptEvery := flag.Int64("ckptevery", 100, "default checkpoint cadence, steps")
+	metricsEvery := flag.Duration("metricsevery", time.Second, "per-job FTDC telemetry sampling interval (0 = server default 1s, negative disables)")
 	flag.Parse()
 
 	sched, err := serve.NewScheduler(serve.Config{
@@ -41,6 +43,7 @@ func main() {
 		SliceSteps:      *slice,
 		TenantQuota:     *quota,
 		CheckpointEvery: *ckptEvery,
+		MetricsInterval: *metricsEvery,
 	})
 	if err != nil {
 		log.Fatal(err)

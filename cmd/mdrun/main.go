@@ -60,6 +60,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	profile := flag.Bool("profile", false, "print a projections summary of the run's phase trace at exit")
 	tracePath := flag.String("trace", "", "write the phase trace as JSON Lines to this file (analyze with cmd/projections)")
+	metricsPath := flag.String("metrics", "", "write FTDC telemetry samples to this file (analyze with projections -ftdc)")
+	metricsEvery := flag.Duration("metricsevery", time.Second, "telemetry sampling interval; 0 samples only at exit (requires -metrics)")
 	flag.Parse()
 
 	// Contradictory table flags get CLI-level errors that name the flags,
@@ -73,6 +75,12 @@ func main() {
 	}
 	if *tableSpacing < 0 {
 		log.Fatalf("-table-spacing %g Å² must be ≥ 0 (0 = default resolution)", *tableSpacing)
+	}
+	if *metricsEvery < 0 {
+		log.Fatalf("-metricsevery %v must be ≥ 0 (0 = one sample at exit)", *metricsEvery)
+	}
+	if *metricsEvery != time.Second && *metricsPath == "" {
+		log.Fatalf("-metricsevery %v has no effect without -metrics", *metricsEvery)
 	}
 
 	var sys *gonamd.System
@@ -174,6 +182,18 @@ func main() {
 	}
 	if tlog != nil {
 		opts = append(opts, gonamd.WithTrace(tlog))
+	}
+	var mrec *gonamd.MetricsRecorder
+	var mfw *gonamd.MetricsFileWriter
+	if *metricsPath != "" {
+		fw, err := gonamd.CreateMetricsFile(*metricsPath, gonamd.EngineMetricsSchema())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mfw = fw
+		mrec = gonamd.NewMetricsRecorder(*metricsEvery)
+		mrec.SetSink(mfw)
+		opts = append(opts, gonamd.WithMetricsRecorder(mrec))
 	}
 
 	var eng gonamd.Engine
@@ -338,6 +358,19 @@ func main() {
 			log.Fatalf("writing checkpoint %s: %v", *ckptPath, err)
 		}
 		fmt.Printf("wrote snapshot at step %d to %s (continue with -in %s)\n", done, *ckptPath, *ckptPath)
+	}
+	if mrec != nil {
+		// Close takes a final sample (so even -metricsevery 0 runs leave a
+		// record) and flushes before the file is sealed.
+		err := mrec.Close()
+		if cerr := mfw.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing telemetry %s: %v", *metricsPath, err)
+		}
+		fmt.Printf("wrote %d telemetry samples to %s (analyze with projections -ftdc)\n",
+			mrec.SampleCount(), *metricsPath)
 	}
 	el := time.Since(start)
 	if done > 0 {

@@ -12,6 +12,9 @@
 // Reads stdin when the path is "-" or absent. With only -summary,
 // -grainsize, or -json the trace streams through the analyzer without
 // being materialized; -timeline and -gantt need the full log in memory.
+// With -ftdc the input is an FTDC telemetry file (binary chunked or
+// JSONL, as written by mdrun -metrics or a gonamdd job) and the output
+// is per-field summaries plus a steps/sec sparkline.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"log"
 	"os"
 
+	"gonamd/internal/ftdc"
 	"gonamd/internal/projections"
 	"gonamd/internal/trace"
 )
@@ -39,6 +43,7 @@ func main() {
 		bins      = flag.Int("bins", 0, "grainsize histogram bins (default 30)")
 		top       = flag.Int("top", 0, "entry-table rows (default 12)")
 		width     = flag.Int("width", 100, "timeline/gantt width in characters")
+		ftdcMode  = flag.Bool("ftdc", false, "input is FTDC telemetry (binary chunked or JSONL, as written by mdrun -metrics or a gonamdd job); print per-field summaries and a throughput sparkline")
 	)
 	flag.Parse()
 
@@ -50,6 +55,19 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	}
+
+	if *ftdcMode {
+		schema, samples, err := ftdc.ReadAny(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ftdc.WriteSummary(os.Stdout, schema, samples)
+		if schema.FieldIndex("steps_per_sec") >= 0 {
+			fmt.Println()
+			ftdc.WriteRateSeries(os.Stdout, schema, samples, "steps_per_sec", *width)
+		}
+		return
 	}
 
 	opt := projections.Options{PEs: *pes, HistBins: *bins, TopEntries: *top}

@@ -34,6 +34,7 @@ import (
 	"gonamd/internal/core"
 	"gonamd/internal/ensemble"
 	"gonamd/internal/forcefield"
+	"gonamd/internal/ftdc"
 	"gonamd/internal/ldb"
 	"gonamd/internal/machine"
 	"gonamd/internal/molgen"
@@ -329,6 +330,38 @@ var (
 	AnalyzeTraceReader = projections.AnalyzeReader
 	LBReport           = projections.LBReport
 	UtilizationGantt   = projections.UtilizationGantt
+)
+
+// Always-on FTDC-style telemetry (internal/ftdc): engines publish a
+// flat metric vector (steps, per-phase seconds, rebuilds, imbalance,
+// GC stats) into a lock-free recorder; samples persist in a compact
+// chunked delta-of-delta format with a JSONL fallback, render with
+// cmd/projections -ftdc, and stream live per job from the gonamdd
+// server (GET /jobs/{id}/metrics). Attach one with WithMetrics or
+// WithMetricsRecorder.
+type (
+	// MetricsRecorder is the live ring-buffer telemetry recorder.
+	MetricsRecorder = ftdc.Recorder
+	// MetricsSchema names and types the metric vector.
+	MetricsSchema = ftdc.Schema
+	// MetricsSample is one observation of the vector.
+	MetricsSample = ftdc.Sample
+	// MetricsFileWriter persists samples to a chunked FTDC file with
+	// crash-safe append (Sync at checkpoints, recover on reopen).
+	MetricsFileWriter = ftdc.FileWriter
+)
+
+// NewMetricsRecorder builds a recorder over the standard engine metric
+// schema (interval 0 = manual SampleNow); CreateMetricsFile and
+// OpenMetricsFile manage on-disk FTDC files (Open recovers torn tails
+// and appends); ReadMetricsFile decodes one, tolerating a torn tail;
+// EngineMetricsSchema is the schema the engines publish under.
+var (
+	NewMetricsRecorder  = ftdc.NewEngineRecorder
+	CreateMetricsFile   = ftdc.CreateFile
+	OpenMetricsFile     = ftdc.OpenFile
+	ReadMetricsFile     = ftdc.ReadFile
+	EngineMetricsSchema = ftdc.EngineSchema
 )
 
 // Machine models, calibrated from the paper's Table 1 using the ApoA-I

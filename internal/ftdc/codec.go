@@ -1,0 +1,482 @@
+package ftdc
+
+// The on-disk FTDC format. A file is a 4-byte magic ("GFD1") followed
+// by self-contained chunks:
+//
+//	uvarint payloadLen | uint32le crc32(payload) | payload
+//
+// where payload is
+//
+//	uvarint schemaLen | schema JSON | uvarint nSamples
+//	| time column | field column × schema.NumFields()
+//
+// Each column encodes nSamples uint64 words (int64 nanos for the time
+// column, math.Float64bits for value columns) as: first word raw
+// uvarint, then delta-of-delta — zigzag(delta − prevDelta) with
+// wrapping uint64 arithmetic — one varint per sample. Timestamps on a
+// steady cadence and slowly-moving counters collapse to near-zero
+// second differences, which zigzag encodes in one byte; because the
+// transform is a bijection on uint64, decoding is bit-exact for every
+// value, including NaN, ±Inf, and counter resets.
+//
+// Every chunk carries its own schema and CRC, so a reader needs no
+// side channel, an appender never rewrites history, and a torn tail
+// (crash mid-write) is detected and cleanly truncated by RecoverFile.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+var magic = [4]byte{'G', 'F', 'D', '1'}
+
+var (
+	// ErrBadMagic means the input does not start with an FTDC header.
+	ErrBadMagic = errors.New("ftdc: bad magic")
+	// ErrCorrupt means a chunk failed its CRC or internal bounds check.
+	ErrCorrupt = errors.New("ftdc: corrupt chunk")
+)
+
+// Decoder hard limits: a chunk's declared sample/field counts must be
+// representable within its payload (≥1 byte per varint), and are also
+// capped absolutely so corrupt or adversarial headers cannot ask for
+// huge allocations.
+const (
+	maxChunkPayload = 64 << 20
+	maxChunkSamples = 1 << 20
+	maxFields       = 4096
+)
+
+// Block is one decoded chunk: a schema and the samples encoded under it.
+type Block struct {
+	Schema  Schema
+	Samples []Sample
+}
+
+func zigzag(x uint64) uint64   { return uint64((int64(x) << 1) ^ (int64(x) >> 63)) }
+func unzigzag(x uint64) uint64 { return uint64((int64(x >> 1)) ^ -int64(x&1)) }
+
+// appendColumn delta-of-delta encodes words onto buf.
+func appendColumn(buf []byte, words []uint64) []byte {
+	var prev, prevDelta uint64
+	for i, w := range words {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, w)
+		} else {
+			delta := w - prev
+			buf = binary.AppendUvarint(buf, zigzag(delta-prevDelta))
+			prevDelta = delta
+		}
+		prev = w
+	}
+	return buf
+}
+
+// readColumn decodes n delta-of-delta words from r.
+func readColumn(r *bytes.Reader, n int, out []uint64) error {
+	var prev, prevDelta uint64
+	for i := 0; i < n; i++ {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("%w: truncated column", ErrCorrupt)
+		}
+		if i == 0 {
+			prev = v
+		} else {
+			prevDelta += unzigzag(v)
+			prev += prevDelta
+		}
+		out[i] = prev
+	}
+	return nil
+}
+
+// encodeChunk serializes samples (all sharing schema) into one framed
+// chunk appended to buf.
+func encodeChunk(buf []byte, schema Schema, times []int64, columns [][]uint64, n int) ([]byte, error) {
+	if n == 0 {
+		return buf, nil
+	}
+	schemaJSON, err := json.Marshal(schema)
+	if err != nil {
+		return nil, err
+	}
+	payload := binary.AppendUvarint(nil, uint64(len(schemaJSON)))
+	payload = append(payload, schemaJSON...)
+	payload = binary.AppendUvarint(payload, uint64(n))
+	tw := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		tw[i] = uint64(times[i])
+	}
+	payload = appendColumn(payload, tw)
+	for _, col := range columns {
+		payload = appendColumn(payload, col[:n])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...), nil
+}
+
+// decodePayload parses one chunk payload (CRC already verified).
+func decodePayload(payload []byte) (*Block, error) {
+	r := bytes.NewReader(payload)
+	schemaLen, err := binary.ReadUvarint(r)
+	if err != nil || schemaLen > uint64(r.Len()) {
+		return nil, fmt.Errorf("%w: schema length", ErrCorrupt)
+	}
+	schemaJSON := make([]byte, schemaLen)
+	if _, err := io.ReadFull(r, schemaJSON); err != nil {
+		return nil, fmt.Errorf("%w: schema bytes", ErrCorrupt)
+	}
+	var schema Schema
+	if err := json.Unmarshal(schemaJSON, &schema); err != nil {
+		return nil, fmt.Errorf("%w: schema json: %v", ErrCorrupt, err)
+	}
+	nFields := schema.NumFields()
+	if nFields > maxFields {
+		return nil, fmt.Errorf("%w: %d fields", ErrCorrupt, nFields)
+	}
+	n64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: sample count", ErrCorrupt)
+	}
+	// Each sample needs ≥ 1 byte in the time column alone.
+	if n64 > maxChunkSamples || n64 > uint64(r.Len()) {
+		return nil, fmt.Errorf("%w: %d samples in %d bytes", ErrCorrupt, n64, r.Len())
+	}
+	n := int(n64)
+	words := make([]uint64, n)
+	if err := readColumn(r, n, words); err != nil {
+		return nil, err
+	}
+	samples := make([]Sample, n)
+	vals := make([]float64, n*nFields)
+	for i := range samples {
+		samples[i].UnixNanos = int64(words[i])
+		samples[i].Values = vals[i*nFields : (i+1)*nFields : (i+1)*nFields]
+	}
+	for f := 0; f < nFields; f++ {
+		if err := readColumn(r, n, words); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			samples[i].Values[f] = math.Float64frombits(words[i])
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.Len())
+	}
+	return &Block{Schema: schema, Samples: samples}, nil
+}
+
+// Writer encodes samples into the chunked format. Samples accumulate
+// in preallocated column buffers and are framed into a chunk on Flush
+// or when the buffer fills; the steady state allocates nothing per
+// Append.
+type Writer struct {
+	w       io.Writer
+	schema  Schema
+	times   []int64
+	columns [][]uint64
+	n       int
+	scratch []byte
+}
+
+// chunkSamples is the flush threshold: how many samples accumulate
+// before a chunk is framed and written.
+const chunkSamples = 256
+
+// NewWriter writes the file magic and returns a Writer for schema.
+// Use newAppendWriter to continue an existing stream without a magic.
+func NewWriter(w io.Writer, schema Schema) (*Writer, error) {
+	if _, err := w.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return newAppendWriter(w, schema), nil
+}
+
+// newAppendWriter returns a Writer that emits chunks only — for
+// appending to a stream whose magic already exists.
+func newAppendWriter(w io.Writer, schema Schema) *Writer {
+	cols := make([][]uint64, schema.NumFields())
+	for i := range cols {
+		cols[i] = make([]uint64, chunkSamples)
+	}
+	return &Writer{
+		w:       w,
+		schema:  schema,
+		times:   make([]int64, chunkSamples),
+		columns: cols,
+	}
+}
+
+// Append buffers one sample; values must have schema.NumFields()
+// entries. The sample is not durable until Flush.
+func (w *Writer) Append(unixNanos int64, values []float64) error {
+	if len(values) != w.schema.NumFields() {
+		return fmt.Errorf("ftdc: sample has %d values, schema has %d fields", len(values), w.schema.NumFields())
+	}
+	w.times[w.n] = unixNanos
+	for i, v := range values {
+		w.columns[i][w.n] = math.Float64bits(v)
+	}
+	w.n++
+	if w.n == chunkSamples {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush frames the buffered samples into a chunk and writes it out.
+func (w *Writer) Flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	buf, err := encodeChunk(w.scratch[:0], w.schema, w.times, w.columns, w.n)
+	if err != nil {
+		return err
+	}
+	w.scratch = buf[:0]
+	w.n = 0
+	_, err = w.w.Write(buf)
+	return err
+}
+
+// Buffered reports how many samples are waiting for a Flush.
+func (w *Writer) Buffered() int { return w.n }
+
+// Reader streams decoded chunks from an FTDC file.
+type Reader struct {
+	br      *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r; the first Next validates the magic.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next decoded chunk. It returns io.EOF at a clean
+// end of stream, io.ErrUnexpectedEOF on a torn tail, ErrBadMagic if
+// the stream is not FTDC, and ErrCorrupt on a CRC or bounds failure.
+func (r *Reader) Next() (*Block, error) {
+	if !r.started {
+		var m [4]byte
+		if _, err := io.ReadFull(r.br, m[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: short header", ErrBadMagic)
+			}
+			return nil, err
+		}
+		if m != magic {
+			return nil, ErrBadMagic
+		}
+		r.started = true
+	}
+	payloadLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean chunk boundary
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	if payloadLen == 0 || payloadLen > maxChunkPayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, payloadLen)
+	}
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(r.br, crcBytes[:]); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBytes[:]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return decodePayload(payload)
+}
+
+// Encode serializes samples under schema into a standalone FTDC byte
+// stream (magic + one chunk per chunkSamples window).
+func Encode(schema Schema, samples []Sample) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		if err := w.Append(s.UnixNanos, s.Values); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a complete FTDC byte stream and returns the schema of
+// the final chunk plus all samples in order.
+func Decode(data []byte) (Schema, []Sample, error) {
+	r := NewReader(bytes.NewReader(data))
+	var schema Schema
+	var samples []Sample
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return schema, samples, nil
+		}
+		if err != nil {
+			return schema, samples, err
+		}
+		schema = b.Schema
+		samples = append(samples, b.Samples...)
+	}
+}
+
+// FileWriter binds a Writer to an os.File with the durability hooks
+// the job server needs (Sync at checkpoints, recover-and-append after
+// a crash).
+type FileWriter struct {
+	*Writer
+	f *os.File
+}
+
+// CreateFile creates (or truncates) path as a fresh FTDC file.
+func CreateFile(path string, schema Schema) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, schema)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileWriter{Writer: w, f: f}, nil
+}
+
+// OpenFile opens path for appending, creating it if absent. An
+// existing file is first truncated after its last valid chunk
+// (RecoverFile), so a torn tail from a crash never corrupts the
+// stream; new chunks continue from the recovered end.
+func OpenFile(path string, schema Schema) (*FileWriter, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return CreateFile(path, schema)
+	}
+	if _, err := RecoverFile(path); err != nil {
+		// Unreadable header or worse: start over.
+		return CreateFile(path, schema)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileWriter{Writer: newAppendWriter(f, schema), f: f}, nil
+}
+
+// Sync flushes buffered samples and fsyncs the file.
+func (fw *FileWriter) Sync() error {
+	if err := fw.Flush(); err != nil {
+		return err
+	}
+	return fw.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (fw *FileWriter) Close() error {
+	flushErr := fw.Flush()
+	closeErr := fw.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Kill closes the file abandoning any buffered samples — the
+// same-process stand-in for a crash.
+func (fw *FileWriter) Kill() error { return fw.f.Close() }
+
+// RecoverFile validates path chunk by chunk and truncates it after the
+// last chunk that decodes cleanly, returning how many valid samples
+// remain. A file with a valid magic and zero valid chunks is truncated
+// to just the magic.
+func RecoverFile(path string) (int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil || m != magic {
+		return 0, ErrBadMagic
+	}
+	valid := int64(len(magic))
+	samples := 0
+	cr := &countingReader{r: br, n: valid}
+	rd := &Reader{br: bufio.NewReader(cr), started: true}
+	for {
+		b, err := rd.Next()
+		if err != nil {
+			break
+		}
+		samples += len(b.Samples)
+		// The chunk boundary is wherever the underlying stream has
+		// advanced to minus what the reader still has buffered.
+		valid = cr.n - int64(rd.br.Buffered())
+	}
+	if err := f.Truncate(valid); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadFile decodes an entire FTDC file, tolerating a torn tail: it
+// returns every sample up to the first invalid chunk and a nil error
+// if at least the header was intact.
+func ReadFile(path string) (Schema, []Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	defer f.Close()
+	r := NewReader(f)
+	var schema Schema
+	var samples []Sample
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return schema, samples, nil
+		}
+		if err != nil {
+			if len(samples) > 0 || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
+				// Torn tail after a crash: the valid prefix stands.
+				return schema, samples, nil
+			}
+			return schema, samples, err
+		}
+		schema = b.Schema
+		samples = append(samples, b.Samples...)
+	}
+}

@@ -1,0 +1,61 @@
+package ftdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFTDCDecode: arbitrary input to the decoder must either decode or
+// return an error — never panic, never over-allocate on a lying
+// header. Seeds include valid streams, truncations, and bit flips so
+// the fuzzer starts inside the format.
+func FuzzFTDCDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("GFD1"))
+	f.Add([]byte("not ftdc at all"))
+	rng := rand.New(rand.NewSource(1))
+	schema := randomSchema(rng, 3)
+	valid, err := Encode(schema, randomSeries(rng, 3, 40))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema, samples, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be internally consistent.
+		for _, s := range samples {
+			if len(s.Values) != schema.NumFields() {
+				t.Fatalf("sample has %d values, schema %d fields", len(s.Values), schema.NumFields())
+			}
+		}
+		// And re-encodable bit-exactly.
+		if len(samples) > 0 {
+			re, err := Encode(schema, samples)
+			if err != nil {
+				t.Fatalf("re-encode of decoded stream failed: %v", err)
+			}
+			_, again, err := Decode(re)
+			if err != nil {
+				t.Fatalf("decode of re-encode failed: %v", err)
+			}
+			if len(again) != len(samples) {
+				t.Fatalf("re-round-trip lost samples: %d != %d", len(again), len(samples))
+			}
+			for i := range samples {
+				for j := range samples[i].Values {
+					if math.Float64bits(again[i].Values[j]) != math.Float64bits(samples[i].Values[j]) {
+						t.Fatal("re-round-trip changed a value")
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package ftdc
+
+// Text rendering for cmd/projections -ftdc: a per-field summary table
+// (last/min/max/mean, and rate-over-the-window for counters) plus a
+// step-rate time series.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// FieldSummary is one row of the summary table.
+type FieldSummary struct {
+	Name       string
+	Kind       Kind
+	Last       float64
+	Min        float64
+	Max        float64
+	Mean       float64
+	RatePerSec float64 // counters only: (last-first)/elapsed
+}
+
+// Summarize computes per-field statistics over samples. Non-finite
+// values are carried through Last but excluded from min/max/mean.
+func Summarize(schema Schema, samples []Sample) []FieldSummary {
+	out := make([]FieldSummary, schema.NumFields())
+	for i, f := range schema.Fields {
+		out[i] = FieldSummary{Name: f.Name, Kind: f.Kind, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	if len(samples) == 0 {
+		return out
+	}
+	counts := make([]int, len(out))
+	for _, s := range samples {
+		for i := range out {
+			if i >= len(s.Values) {
+				break
+			}
+			v := s.Values[i]
+			out[i].Last = v
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < out[i].Min {
+				out[i].Min = v
+			}
+			if v > out[i].Max {
+				out[i].Max = v
+			}
+			out[i].Mean += v
+			counts[i]++
+		}
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	elapsed := float64(last.UnixNanos-first.UnixNanos) / 1e9
+	for i := range out {
+		if counts[i] > 0 {
+			out[i].Mean /= float64(counts[i])
+		} else {
+			out[i].Min, out[i].Max = 0, 0
+		}
+		if out[i].Kind == Counter && elapsed > 0 && i < len(first.Values) && i < len(last.Values) {
+			out[i].RatePerSec = (last.Values[i] - first.Values[i]) / elapsed
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the summary table.
+func WriteSummary(w io.Writer, schema Schema, samples []Sample) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "ftdc: no samples")
+		return
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	elapsed := time.Duration(last.UnixNanos - first.UnixNanos)
+	fmt.Fprintf(w, "ftdc: %d samples over %s (schema v%d, %d fields)\n\n",
+		len(samples), elapsed.Round(time.Millisecond), schema.Version, schema.NumFields())
+	fmt.Fprintf(w, "%-20s %6s %14s %14s %14s %14s %14s\n",
+		"field", "kind", "last", "min", "max", "mean", "rate/s")
+	fmt.Fprintln(w, strings.Repeat("-", 20+1+6+5*15))
+	for _, fs := range Summarize(schema, samples) {
+		kind := "gauge"
+		rate := "-"
+		if fs.Kind == Counter {
+			kind = "count"
+			rate = fmtVal(fs.RatePerSec)
+		}
+		fmt.Fprintf(w, "%-20s %6s %14s %14s %14s %14s %14s\n",
+			fs.Name, kind, fmtVal(fs.Last), fmtVal(fs.Min), fmtVal(fs.Max), fmtVal(fs.Mean), rate)
+	}
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return fmt.Sprintf("%v", v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteRateSeries renders an ASCII time series of the named field
+// (default steps_per_sec), one bar per sample bucket.
+func WriteRateSeries(w io.Writer, schema Schema, samples []Sample, field string, width int) {
+	idx := schema.FieldIndex(field)
+	if idx < 0 {
+		fmt.Fprintf(w, "ftdc: no field %q in schema\n", field)
+		return
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	for _, s := range samples {
+		if idx < len(s.Values) && !math.IsNaN(s.Values[idx]) && !math.IsInf(s.Values[idx], 0) && s.Values[idx] > maxV {
+			maxV = s.Values[idx]
+		}
+	}
+	fmt.Fprintf(w, "\n%s over time (max %s)\n", field, fmtVal(maxV))
+	t0 := samples[0].UnixNanos
+	for _, s := range samples {
+		if idx >= len(s.Values) {
+			continue
+		}
+		v := s.Values[idx]
+		bar := 0
+		if maxV > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 {
+			bar = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(w, "%10.2fs |%-*s| %s\n",
+			float64(s.UnixNanos-t0)/1e9, width, strings.Repeat("#", bar), fmtVal(v))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"gonamd/internal/forcefield"
+	"gonamd/internal/ftdc"
 	"gonamd/internal/ldb"
 	"gonamd/internal/pme"
 	"gonamd/internal/seq"
@@ -164,6 +165,10 @@ type Engine struct {
 
 	// tr, when non-nil, receives per-phase execution records (tracing.go).
 	tr *trace.Recorder
+
+	// metrics, when non-nil, receives the always-on telemetry vector
+	// after every step (see metrics.go).
+	metrics *ftdc.Recorder
 }
 
 // New creates an engine with the given number of workers (0 = NumCPU).

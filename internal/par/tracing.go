@@ -17,6 +17,11 @@ import (
 // nil checks, preserving the zero-allocation step.
 func (e *Engine) SetTrace(l *trace.Log) {
 	e.tr = trace.NewRecorder(l)
+	if e.tr == nil && e.metrics != nil {
+		// Metrics still need the phase accumulators: fall back to a
+		// timing-only recorder rather than losing them.
+		e.tr = trace.NewTimingRecorder()
+	}
 }
 
 // System returns the engine's topology.
@@ -64,5 +69,8 @@ func (e *Engine) emitComputePhase(t0 float64) {
 func (e *Engine) markStep() {
 	if e.tr.Enabled() {
 		e.tr.EmitMarker("step", 0, int32(e.steps), e.tr.Now())
+	}
+	if e.metrics != nil {
+		e.publishMetrics()
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"gonamd/internal/forcefield"
+	"gonamd/internal/ftdc"
 	"gonamd/internal/pme"
 	"gonamd/internal/spatial"
 	"gonamd/internal/thermo"
@@ -80,6 +81,10 @@ type Engine struct {
 	// tracing.go); steps counts completed Step calls for the markers.
 	tr    *trace.Recorder
 	steps int64
+
+	// metrics, when non-nil, receives the always-on telemetry vector
+	// after every step (see metrics.go).
+	metrics *ftdc.Recorder
 
 	// cons, when non-nil, holds SHAKE/RATTLE constraints attached at
 	// construction (the options API); drive them with StepConstrained.

@@ -12,6 +12,11 @@ import (
 // detaches tracing; the step path then pays only nil checks.
 func (e *Engine) SetTrace(l *trace.Log) {
 	e.tr = trace.NewRecorder(l)
+	if e.tr == nil && e.metrics != nil {
+		// Metrics still need the phase accumulators: fall back to a
+		// timing-only recorder rather than losing them.
+		e.tr = trace.NewTimingRecorder()
+	}
 }
 
 // System returns the engine's topology.
@@ -48,5 +53,8 @@ func (e *Engine) markStep() {
 	e.steps++
 	if e.tr.Enabled() {
 		e.tr.EmitMarker("step", 0, int32(e.steps), e.tr.Now())
+	}
+	if e.metrics != nil {
+		e.publishMetrics()
 	}
 }

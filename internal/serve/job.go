@@ -14,6 +14,7 @@ import (
 	"gonamd"
 	"gonamd/internal/ckpt"
 	"gonamd/internal/ensemble"
+	"gonamd/internal/ftdc"
 	"gonamd/internal/projections"
 	"gonamd/internal/trace"
 	"gonamd/internal/traj"
@@ -100,12 +101,22 @@ type Job struct {
 	trajW         *traj.Writer
 	pendingResume *ckpt.JobState // set by rescan, applied on first slice
 
+	// Always-on telemetry: the recorder samples the engine's metric
+	// vector and persists it to <id>.ftdc next to the checkpoint. The
+	// recorder pointer lives under statusMu (never j.mu, which is held
+	// for whole slices) so the metrics endpoint can reach it while a
+	// slice runs; the recorder itself is internally synchronized.
+	metricsInterval time.Duration
+	metricsFW       *ftdc.FileWriter
+
 	statusMu sync.Mutex
 	status   JobStatus
+	metrics  *ftdc.Recorder
 }
 
-func newJob(id, dir string, spec JobSpec, specJSON []byte) *Job {
-	j := &Job{ID: id, Spec: spec, dir: dir, specJSON: specJSON, events: newBroker()}
+func newJob(id, dir string, spec JobSpec, specJSON []byte, metricsInterval time.Duration) *Job {
+	j := &Job{ID: id, Spec: spec, dir: dir, specJSON: specJSON, events: newBroker(),
+		metricsInterval: metricsInterval}
 	j.status = JobStatus{
 		ID: id, Name: spec.Name, Tenant: spec.Tenant, Priority: spec.Priority,
 		State: StateQueued, Steps: spec.Steps, SubmittedAt: time.Now().UTC(),
@@ -195,6 +206,26 @@ func (j *Job) ensure() error {
 			case *gonamd.Parallel:
 				e.SetTrace(j.tlog)
 			}
+		}
+		if j.metricsInterval >= 0 {
+			// OpenFile recovers a torn tail from a crash and appends, so
+			// a resumed job keeps its pre-crash samples.
+			fw, err := ftdc.OpenFile(j.metricsPath(), ftdc.EngineSchema())
+			if err != nil {
+				return err
+			}
+			rec := ftdc.NewEngineRecorder(j.metricsInterval)
+			rec.SetSink(fw)
+			switch e := eng.(type) {
+			case *gonamd.Sequential:
+				e.SetMetrics(rec)
+			case *gonamd.Parallel:
+				e.SetMetrics(rec)
+			}
+			j.metricsFW = fw
+			j.statusMu.Lock()
+			j.metrics = rec
+			j.statusMu.Unlock()
 		}
 	}
 	j.sys, j.ff, j.st = sys, ff, st
@@ -476,7 +507,20 @@ func (j *Job) checkpointLocked() error {
 			return err
 		}
 	}
-	return ckpt.SaveJobFile(j.ckptPath(), j.snapshotLocked())
+	if err := ckpt.SaveJobFile(j.ckptPath(), j.snapshotLocked()); err != nil {
+		return err
+	}
+	// Make the telemetry at least as durable as the checkpoint: one
+	// fresh sample, then flush + fsync the .ftdc file. A post-crash
+	// rescan can then always explain what the job was doing up to its
+	// last durable checkpoint.
+	if rec := j.Metrics(); rec != nil {
+		rec.SampleNow()
+		if err := rec.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CheckpointNow is the graceful-shutdown hook: it checkpoints a built,
@@ -528,6 +572,16 @@ func (j *Job) finalize(state, note string) sliceOutcome {
 			state, note = StateFailed, fmt.Sprintf("writing trajectory: %v", err)
 		}
 		j.trajFile, j.trajW = nil, nil
+	}
+	if rec := j.Metrics(); rec != nil {
+		// Graceful end: final sample, flush, close the file, end the
+		// metrics streams. The recorder's ring stays readable for
+		// late GET /metrics requests on the terminal job.
+		rec.Close()
+		if j.metricsFW != nil {
+			j.metricsFW.Close()
+			j.metricsFW = nil
+		}
 	}
 	j.publishState(state, note)
 	if state == StateDone && j.tlog != nil {
@@ -602,7 +656,45 @@ func (j *Job) persistStatus() {
 	})
 }
 
-func (j *Job) ckptPath() string   { return jobPath(j.dir, j.ID, "ckpt") }
-func (j *Job) trajPath() string   { return jobPath(j.dir, j.ID, "traj") }
-func (j *Job) statusPath() string { return jobPath(j.dir, j.ID, "status.json") }
-func (j *Job) specPath() string   { return jobPath(j.dir, j.ID, "spec.json") }
+// Metrics returns the job's live telemetry recorder, or nil if the job
+// has not built its engine (or metrics are disabled). Safe to call
+// while a slice runs — the pointer lives under statusMu, not j.mu.
+func (j *Job) Metrics() *ftdc.Recorder {
+	j.statusMu.Lock()
+	defer j.statusMu.Unlock()
+	return j.metrics
+}
+
+// killMetrics abandons the telemetry pipeline the way a crash would:
+// the sampler stops, buffered samples are lost, and the file keeps
+// whatever chunks were already written — possibly a torn tail for
+// OpenFile to recover on restart. Called only from the scheduler's
+// kill path after all workers have stopped.
+func (j *Job) killMetrics() {
+	if rec := j.Metrics(); rec != nil {
+		rec.Kill()
+	}
+	if j.metricsFW != nil {
+		j.metricsFW.Kill()
+		j.metricsFW = nil
+	}
+}
+
+// closeMetrics ends the telemetry pipeline gracefully (final sample,
+// flush, fsync) for the scheduler's drain-and-stop path.
+func (j *Job) closeMetrics() {
+	if rec := j.Metrics(); rec != nil {
+		rec.Close()
+	}
+	if j.metricsFW != nil {
+		j.metricsFW.Sync()
+		j.metricsFW.Close()
+		j.metricsFW = nil
+	}
+}
+
+func (j *Job) ckptPath() string    { return jobPath(j.dir, j.ID, "ckpt") }
+func (j *Job) trajPath() string    { return jobPath(j.dir, j.ID, "traj") }
+func (j *Job) statusPath() string  { return jobPath(j.dir, j.ID, "status.json") }
+func (j *Job) specPath() string    { return jobPath(j.dir, j.ID, "spec.json") }
+func (j *Job) metricsPath() string { return jobPath(j.dir, j.ID, "ftdc") }

@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"gonamd/internal/ftdc"
 )
 
 // Config configures a Scheduler.
@@ -32,6 +35,13 @@ type Config struct {
 	// CheckpointEvery is the default crash-safety cadence in steps for
 	// jobs that do not set their own (default 100).
 	CheckpointEvery int64
+
+	// MetricsInterval is the always-on telemetry sampling cadence for
+	// every MD job: each job gets an FTDC recorder whose samples
+	// persist to <id>.ftdc next to the checkpoint and stream live from
+	// GET /jobs/{id}/metrics. 0 selects the default (1s); negative
+	// disables per-job metrics entirely.
+	MetricsInterval time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -49,6 +59,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 100
+	}
+	if c.MetricsInterval == 0 {
+		c.MetricsInterval = time.Second
 	}
 	return c, nil
 }
@@ -72,6 +85,8 @@ type Scheduler struct {
 	draining   bool
 	killed     chan struct{}
 	wg         sync.WaitGroup // executing slices
+
+	started time.Time // for /stats uptime
 }
 
 // NewScheduler creates the scheduler, rescans the state directory, and
@@ -90,6 +105,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		free:       cfg.Workers,
 		nextID:     1,
 		killed:     make(chan struct{}),
+		started:    time.Now(),
 	}
 	if err := s.rescan(); err != nil {
 		return nil, err
@@ -121,7 +137,7 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	s.nextID++
 	s.mu.Unlock()
 
-	j := newJob(id, s.cfg.StateDir, spec, specJSON)
+	j := newJob(id, s.cfg.StateDir, spec, specJSON, s.metricsInterval())
 	if err := persistSpec(j); err != nil {
 		return JobStatus{}, err
 	}
@@ -208,10 +224,28 @@ func (s *Scheduler) pickLocked() *Job {
 	return nil
 }
 
+// metricsInterval resolves the per-job telemetry cadence: negative
+// disables (jobs get no recorder), otherwise the configured interval.
+func (s *Scheduler) metricsInterval() time.Duration {
+	if s.cfg.MetricsInterval < 0 {
+		return -1
+	}
+	return s.cfg.MetricsInterval
+}
+
 // slice executes one scheduling turn of a job on a pool worker.
 func (s *Scheduler) slice(j *Job) {
 	defer s.wg.Done()
 	j.publishState(StateRunning, "")
+	// Publish the tenant's current queue depth into the job's telemetry
+	// vector: the gauge every sample carries of how contended the
+	// job's tenant was while it ran.
+	if rec := j.Metrics(); rec != nil {
+		s.mu.Lock()
+		depth := len(s.queues[j.Spec.Tenant])
+		s.mu.Unlock()
+		rec.StoreInt(ftdc.FieldQueueDepth, int64(depth))
+	}
 	out := j.runSlice(s.cfg.SliceSteps, s.killed)
 	s.mu.Lock()
 	s.running[j.Spec.Tenant]--
@@ -361,6 +395,7 @@ func (s *Scheduler) Stop() error {
 		if err := j.CheckpointNow(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		j.closeMetrics()
 		j.persistStatus()
 	}
 	return firstErr
@@ -378,38 +413,107 @@ func (s *Scheduler) Kill() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// The "crashed" process's sampler goroutines must not keep writing
+	// to the state directory a restarted scheduler is about to rescan:
+	// kill every recorder, abandoning buffered samples exactly as a
+	// real crash would (torn tails included — OpenFile recovers them).
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.killMetrics()
+	}
 }
 
 func errNoJob(id string) error { return fmt.Errorf("serve: no job %q", id) }
 
-// TenantStats is one tenant's scheduling picture.
+// TenantStats is one tenant's scheduling picture: queue depth and live
+// concurrency from the scheduler's own bookkeeping, plus per-state job
+// counts from the status snapshots.
 type TenantStats struct {
 	Queued     int `json:"queued"`
 	Running    int `json:"running"`
 	MaxRunning int `json:"max_running"` // concurrency high-water mark
 	Quota      int `json:"quota"`
+	Paused     int `json:"paused,omitempty"`
+	Done       int `json:"done,omitempty"`
+	Failed     int `json:"failed,omitempty"`
+	Canceled   int `json:"canceled,omitempty"`
+}
+
+// MetricsStats aggregates the per-job FTDC telemetry server-wide.
+type MetricsStats struct {
+	// JobsReporting counts jobs with at least one telemetry sample.
+	JobsReporting int `json:"jobs_reporting"`
+	// Samples is the total in-memory sample count across those jobs.
+	Samples int `json:"samples"`
+	// StepsPerSec sums the latest steps/sec reading of every reporting
+	// job — the server's aggregate simulation throughput.
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Steps sums the latest cumulative step count of every reporting job.
+	Steps int64 `json:"steps"`
 }
 
 // Stats is the scheduler-wide observability snapshot.
 type Stats struct {
-	Workers int                    `json:"workers"`
-	Free    int                    `json:"free"`
-	Jobs    int                    `json:"jobs"`
-	Tenants map[string]TenantStats `json:"tenants"`
+	Workers   int                    `json:"workers"`
+	Free      int                    `json:"free"`
+	Jobs      int                    `json:"jobs"`
+	UptimeSec float64                `json:"uptime_sec"`
+	Tenants   map[string]TenantStats `json:"tenants"`
+	Metrics   MetricsStats           `json:"metrics"`
 }
 
-// Stats reports queue depths and concurrency per tenant.
+// Stats reports queue depths, concurrency, and per-state job counts
+// per tenant, server uptime, and the aggregated FTDC telemetry of
+// every reporting job.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{Workers: s.cfg.Workers, Free: s.free, Jobs: len(s.jobs),
-		Tenants: make(map[string]TenantStats)}
+		UptimeSec: time.Since(s.started).Seconds(),
+		Tenants:   make(map[string]TenantStats)}
 	for _, t := range s.tenants {
 		st.Tenants[t] = TenantStats{
 			Queued:     len(s.queues[t]),
 			Running:    s.running[t],
 			MaxRunning: s.maxRunning[t],
 			Quota:      s.cfg.TenantQuota,
+		}
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	// Job statuses and recorders have their own locks; never read them
+	// under s.mu (a status query must not wait on the dispatch path).
+	for _, j := range jobs {
+		js := j.Status()
+		ts := st.Tenants[js.Tenant]
+		switch js.State {
+		case StatePaused:
+			ts.Paused++
+		case StateDone:
+			ts.Done++
+		case StateFailed:
+			ts.Failed++
+		case StateCanceled:
+			ts.Canceled++
+		}
+		st.Tenants[js.Tenant] = ts
+		if rec := j.Metrics(); rec != nil {
+			if last, ok := rec.Last(); ok {
+				st.Metrics.JobsReporting++
+				st.Metrics.Samples += rec.SampleCount()
+				st.Metrics.Steps += int64(last.Values[ftdc.FieldSteps])
+				if js.State == StateRunning {
+					st.Metrics.StepsPerSec += last.Values[ftdc.FieldStepsPerSec]
+				}
+			}
 		}
 	}
 	return st

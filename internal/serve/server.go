@@ -2,8 +2,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+
+	"gonamd/internal/ftdc"
 )
 
 // Server is the HTTP face of a Scheduler. Everything is stdlib: JSON
@@ -17,9 +21,15 @@ import (
 //	POST /jobs/{id}/resume    requeue a paused job
 //	GET  /jobs/{id}/events    NDJSON stream: status, energy, frame,
 //	                          and summary events (replay, then live)
+//	GET  /jobs/{id}/metrics   NDJSON telemetry stream: schema line, then
+//	                          one FTDC sample per line (replay, then
+//	                          live while the job runs; the persisted
+//	                          .ftdc file when it does not)
 //	GET  /jobs/{id}/trajectory the binary trajectory written so far
 //	GET  /jobs/{id}/summary   the job's Projections report (trace jobs)
-//	GET  /stats               scheduler stats: queues, quotas, workers
+//	GET  /stats               scheduler stats: queues, quotas, workers,
+//	                          uptime, per-tenant job counts, aggregate
+//	                          telemetry
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -35,6 +45,7 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("POST /jobs/{id}/pause", s.lifecycle((*Scheduler).Pause))
 	s.mux.HandleFunc("POST /jobs/{id}/resume", s.lifecycle((*Scheduler).Resume))
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /jobs/{id}/metrics", s.metrics)
 	s.mux.HandleFunc("GET /jobs/{id}/trajectory", s.trajectory)
 	s.mux.HandleFunc("GET /jobs/{id}/summary", s.summary)
 	s.mux.HandleFunc("GET /stats", s.stats)
@@ -140,6 +151,88 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 				return // job finished; stream is complete
 			}
 			if enc.Encode(ev) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// metrics streams a job's FTDC telemetry as NDJSON under the same
+// contract as /events: first line the schema, then one sample object
+// per line — the recorder's ring replayed, then live samples until the
+// job ends or the client disconnects. A job with no live recorder (not
+// yet started, or recovered from a previous server process) streams
+// the persisted .ftdc file instead and ends.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errNoJob(r.PathValue("id")))
+		return
+	}
+	rec := j.Metrics()
+	var schema ftdc.Schema
+	var replay []ftdc.Sample
+	var live <-chan ftdc.Sample
+	if rec != nil {
+		schema = rec.Schema()
+		var cancel func()
+		replay, live, cancel = rec.Subscribe()
+		defer cancel()
+	} else {
+		var err error
+		schema, replay, err = ftdc.ReadFile(j.metricsPath())
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				writeErr(w, http.StatusNotFound,
+					fmt.Errorf("serve: job %s has no metrics", j.ID))
+			} else {
+				writeErr(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	hdr, err := ftdc.MarshalSchema(schema)
+	if err != nil {
+		return
+	}
+	var buf []byte
+	writeSample := func(smp ftdc.Sample) bool {
+		buf = ftdc.AppendSampleJSON(buf[:0], schema, smp)
+		buf = append(buf, '\n')
+		_, werr := w.Write(buf)
+		return werr == nil
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return
+	}
+	for _, smp := range replay {
+		if !writeSample(smp) {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if live == nil {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case smp, ok := <-live:
+			if !ok {
+				return // recorder closed; stream is complete
+			}
+			if !writeSample(smp) {
 				return
 			}
 			if flusher != nil {

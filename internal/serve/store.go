@@ -93,7 +93,7 @@ func (s *Scheduler) recoverJob(id string) (*Job, error) {
 	if err := spec.normalize(s.cfg.CheckpointEvery); err != nil {
 		return nil, err
 	}
-	j := newJob(id, s.cfg.StateDir, spec, specJSON)
+	j := newJob(id, s.cfg.StateDir, spec, specJSON, s.metricsInterval())
 
 	var prev JobStatus
 	havePrev := false
@@ -155,9 +155,12 @@ func (s *Scheduler) recoverJob(id string) (*Job, error) {
 		j.finalizeExternal(StateFailed, fmt.Sprintf("cannot resume: %v", err))
 	case errors.Is(err, ckpt.ErrCorrupt), errors.Is(err, ckpt.ErrTruncated), errors.Is(err, ckpt.ErrBadMagic):
 		// A torn or damaged write from the crash: the checkpoint is
-		// unusable but the job itself is fine. Restart it from scratch.
+		// unusable but the job itself is fine. Restart it from scratch —
+		// including its telemetry, which would otherwise show the old
+		// attempt's samples spliced onto the rerun's.
 		_ = os.Remove(j.ckptPath())
 		_ = os.Remove(j.trajPath())
+		_ = os.Remove(j.metricsPath())
 		j.updateStatus(func(st *JobStatus) {
 			st.Step = 0
 			st.Frames = 0

@@ -9,12 +9,20 @@ import "time"
 // heap allocations until the reserved capacity is exhausted (after which
 // appends grow geometrically, amortized as usual).
 //
+// A Recorder can also run in timing-only mode (NewTimingRecorder): no
+// log, no arena, just per-category duration accumulators in a fixed
+// array. That is what the always-on ftdc telemetry rides on — bounded
+// memory forever, every Emit a couple of float adds — while a full
+// Projections log still feeds the same accumulators when attached.
+//
 // A Recorder is not safe for concurrent use; engines emit only from the
 // goroutine driving the step.
 type Recorder struct {
-	log   *Log
-	epoch time.Time
-	arena []Span
+	log    *Log
+	epoch  time.Time
+	arena  []Span
+	timing bool
+	phases [numCategories]float64
 }
 
 // recorderReserve sizes the record and span arenas: comfortably more
@@ -36,8 +44,15 @@ func NewRecorder(l *Log) *Recorder {
 	}
 }
 
+// NewTimingRecorder returns a recorder that accumulates per-category
+// phase durations but records no log — constant memory, suitable for
+// always-on metrics over arbitrarily long runs.
+func NewTimingRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), timing: true}
+}
+
 // Enabled reports whether Emit calls will record anything.
-func (r *Recorder) Enabled() bool { return r != nil && r.log.Enabled() }
+func (r *Recorder) Enabled() bool { return r != nil && (r.timing || r.log.Enabled()) }
 
 // Now returns seconds since the recorder's epoch — the time axis all of
 // its records live on.
@@ -51,6 +66,12 @@ func (r *Recorder) Emit(entry string, pe, obj int32, start float64, cat Category
 	if !r.Enabled() || dur <= 0 {
 		return
 	}
+	if int(cat) < len(r.phases) {
+		r.phases[cat] += dur
+	}
+	if !r.log.Enabled() {
+		return // timing-only: no record, no arena growth
+	}
 	n := len(r.arena)
 	r.arena = append(r.arena, Span{Cat: cat, Dur: dur})
 	r.log.Add(ExecRecord{
@@ -62,10 +83,19 @@ func (r *Recorder) Emit(entry string, pe, obj int32, start float64, cat Category
 
 // EmitMarker records a zero-duration boundary marker (entry "step" marks
 // step completion; the analyzer derives step-time series from
-// consecutive markers).
+// consecutive markers). In timing-only mode markers are dropped.
 func (r *Recorder) EmitMarker(entry string, pe, obj int32, at float64) {
-	if !r.Enabled() {
+	if !r.Enabled() || !r.log.Enabled() {
 		return
 	}
 	r.log.Add(ExecRecord{PE: pe, Obj: obj, Entry: entry, Start: at, End: at})
+}
+
+// PhaseTotals returns the cumulative per-category busy seconds emitted
+// through this recorder. Nil-safe (all zeros).
+func (r *Recorder) PhaseTotals() [NumCategories]float64 {
+	if r == nil {
+		return [NumCategories]float64{}
+	}
+	return r.phases
 }

@@ -2,7 +2,9 @@ package gonamd
 
 import (
 	"fmt"
+	"time"
 
+	"gonamd/internal/ftdc"
 	"gonamd/internal/par"
 	"gonamd/internal/seq"
 	"gonamd/internal/thermo"
@@ -78,6 +80,7 @@ type engineOptions struct {
 	pmeMTS  int
 
 	trace      *trace.Log
+	metrics    *ftdc.Recorder
 	thermostat thermo.Thermostat
 
 	rebalanceEvery    int
@@ -245,6 +248,41 @@ func WithTrace(l *TraceLog) Option {
 	}
 }
 
+// WithMetrics attaches always-on FTDC telemetry sampled on the given
+// interval: the engine publishes its metric vector (step count,
+// per-phase busy seconds, rebuild count, load imbalance) into a
+// lock-free slot array after every step, and a background sampler
+// goroutine snapshots it into a ring buffer every interval. The step
+// path stays allocation-free; the sampler costs O(fields) per tick.
+// Retrieve the recorder with Sequential.Metrics / Parallel.Metrics to
+// subscribe, read history, or attach an on-disk sink. An interval of 0
+// disables the background sampler (call Recorder.SampleNow manually);
+// negative intervals are rejected. Composes with WithTrace: with a
+// trace attached the phase times feed both; without one a bounded
+// timing-only accumulator is installed.
+func WithMetrics(interval time.Duration) Option {
+	return func(o *engineOptions) error {
+		if interval < 0 {
+			return fmt.Errorf("gonamd: metrics interval %s must be ≥ 0 (0 = manual sampling)", interval)
+		}
+		o.metrics = ftdc.NewEngineRecorder(interval)
+		return nil
+	}
+}
+
+// WithMetricsRecorder attaches a caller-constructed telemetry recorder
+// (see NewMetricsRecorder) — the variant services use so they keep the
+// handle for sampling, streaming, and shutdown. Nil is rejected.
+func WithMetricsRecorder(rec *MetricsRecorder) Option {
+	return func(o *engineOptions) error {
+		if rec == nil {
+			return fmt.Errorf("gonamd: WithMetricsRecorder requires a non-nil recorder (use WithMetrics to construct one)")
+		}
+		o.metrics = rec
+		return nil
+	}
+}
+
 // WithThermostat applies the thermostat after every step (NVT dynamics).
 func WithThermostat(th Thermostat) Option {
 	return func(o *engineOptions) error {
@@ -357,6 +395,9 @@ func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Seq
 	if o.trace != nil {
 		e.SetTrace(o.trace)
 	}
+	if o.metrics != nil {
+		e.SetMetrics(o.metrics)
+	}
 	return e, nil
 }
 
@@ -407,6 +448,9 @@ func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Op
 	}
 	if o.trace != nil {
 		e.SetTrace(o.trace)
+	}
+	if o.metrics != nil {
+		e.SetMetrics(o.metrics)
 	}
 	return e, nil
 }

@@ -3,6 +3,7 @@ package gonamd_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"gonamd"
 )
@@ -92,6 +93,30 @@ func BenchmarkStepParTraced(b *testing.B) {
 	reportSteps(b)
 	rep := gonamd.AnalyzeTrace(tlog, gonamd.ProjectionsOptions{})
 	b.ReportMetric(rep.Utilization*100, "util%")
+}
+
+// BenchmarkStepParMetrics is BenchmarkStepPar with a 1 Hz FTDC metrics
+// recorder attached: the telemetry contract is 0 allocs/step and ≤2%
+// wall overhead — publication is a handful of atomic word stores, and
+// the sampler goroutine touches only its own ring.
+func BenchmarkStepParMetrics(b *testing.B) {
+	sys, st, ff := benchSystem(b)
+	rec := gonamd.NewMetricsRecorder(time.Second)
+	defer rec.Close()
+	eng, err := gonamd.NewParallel(sys, ff, st, 8,
+		gonamd.WithBlockLists(benchSkin), gonamd.WithRebalanceEvery(0),
+		gonamd.WithMetricsRecorder(rec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ComputeForces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(benchDt)
+	}
+	b.StopTimer()
+	reportSteps(b)
 }
 
 // BenchmarkStepParBaseline is the pre-pipeline configuration of the
