@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race serve metrics chaos fuzz bench bench-all benchdiff table-accuracy profile ci
+.PHONY: all vet build test race serve metrics chaos fuzz bench bench-all benchdiff table-accuracy profile scale ci
 
 all: vet build test
 
@@ -42,12 +42,13 @@ metrics: vet
 # run-to-run nondeterminism in the seeded fault streams. The forcefield
 # and par packages carry the kernel/block-list differential tests; the
 # fft and pme packages carry the worker-count/repeat determinism tests
-# behind the bitwise-reproducible PME guarantee.
+# behind the bitwise-reproducible PME guarantee; the ldb package carries
+# the strategy property suite (never-worsen, validity, determinism).
 chaos:
 	$(GO) test -count=2 -run 'Chaos|Crash|Reliable|Recovery|Property|Differential|Golden|Determinism|PME' \
 		./internal/converse ./internal/charm ./internal/core ./internal/ckpt ./internal/trace \
 		./internal/forcefield ./internal/par ./internal/fft ./internal/pme ./internal/projections \
-		./internal/ftdc ./internal/serve .
+		./internal/ldb ./internal/ftdc ./internal/serve .
 
 # Short runs of the fuzz targets (one -fuzz per invocation): the
 # cluster-builder geometry fuzzer, and the interaction-table fuzzer that
@@ -109,5 +110,14 @@ profile: build
 	$(GO) run ./cmd/mdrun -side 24 -steps 50 -workers 4 -skin 1.5 -trace PROFILE.trace.jsonl -profile
 	$(GO) run ./cmd/projections -json PROFILE.trace.jsonl > PROFILE.json
 	@echo "wrote PROFILE.trace.jsonl and PROFILE.json"
+
+# The paper-scale load-balancing/multicast study: centralized
+# greedy+refine with flat multicast against hierarchical LB with
+# spanning-tree multicast, ApoA-I 16-1024 and BC1 16-2048 PEs, plus the
+# BC1 LB before/after reports at 1024/2048. Slow (minutes): twelve
+# full cluster simulations, the largest at 2048 virtual PEs.
+scale:
+	$(GO) run ./cmd/benchtables -scale > docs/scaletables_output.txt
+	@echo "wrote docs/scaletables_output.txt"
 
 ci: vet build race fuzz

@@ -7,6 +7,7 @@
 //	benchtables -table 2         # one table (1-6)
 //	benchtables -figure 1        # one figure (1-4)
 //	benchtables -summary 64      # bonus: summary profile on N PEs
+//	benchtables -scale           # paper-scale LB/multicast study, 16-2048 PEs
 package main
 
 import (
@@ -28,10 +29,11 @@ func main() {
 	tracePEs := flag.Int("trace-pes", 16, "PE count for the -trace run")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
 	baselines := flag.Bool("baselines", false, "print the decomposition scalability comparison (paper §3)")
+	scale := flag.Bool("scale", false, "run the paper-scale LB/multicast comparison, 16-2048 PEs (slow)")
 	flag.Parse()
 
 	start := time.Now()
-	all := *table == 0 && *figure == 0 && *summary == 0 && *traceOut == "" && !*ablations && !*baselines
+	all := *table == 0 && *figure == 0 && *summary == 0 && *traceOut == "" && !*ablations && !*baselines && !*scale
 
 	runTable := func(n int) {
 		switch n {
@@ -126,6 +128,11 @@ func main() {
 	}
 	if *baselines || all {
 		fmt.Println(bench.BaselineComparison())
+	}
+	if *scale {
+		s, err := bench.ScaleStudy()
+		check(err)
+		fmt.Println(s)
 	}
 	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 }

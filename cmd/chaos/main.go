@@ -55,16 +55,30 @@ func main() {
 	drop := flag.Float64("drop", 0, "machine: message drop probability")
 	dup := flag.Float64("dup", 0, "machine: message duplication probability")
 	delay := flag.Float64("delay", 0, "machine: message delay probability")
+	lb := flag.String("lb", "", "machine: load-balancing strategy: greedy+refine (default), refine-only, hierarchical, diffusion, none")
 
 	profile := flag.Bool("profile", false, "print a projections summary of the faulty run's trace")
 	flag.Parse()
+
+	// Resolve the strategy name before any work so a typo fails
+	// immediately with the list of valid names.
+	var lbStrat gonamd.LBStrategy
+	if *lb != "" {
+		if *mode != "machine" {
+			log.Fatalf("-lb %s applies only to -mode machine", *lb)
+		}
+		var err error
+		if lbStrat, err = gonamd.LookupLBStrategy(*lb); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	ok := false
 	switch *mode {
 	case "ensemble":
 		ok = runEnsemble(*seed, *crashAt, *steps, *replicas, *side, *exchange, *ckptEvery, *profile)
 	case "machine":
-		ok = runMachine(*seed, *pes, *drop, *dup, *delay, *profile)
+		ok = runMachine(*seed, *pes, *drop, *dup, *delay, lbStrat, *profile)
 	default:
 		log.Fatalf("unknown mode %q (want ensemble or machine)", *mode)
 	}
@@ -179,7 +193,7 @@ func runEnsemble(seed uint64, crashAt int64, steps, replicas int, side float64, 
 
 // runMachine runs a cluster simulation under a fault plan with reliable
 // delivery and checkpoint rollback, against a fault-free reference.
-func runMachine(seed uint64, pes int, drop, dup, delay float64, profile bool) bool {
+func runMachine(seed uint64, pes int, drop, dup, delay float64, lb gonamd.LBStrategy, profile bool) bool {
 	sys, st, err := gonamd.BuildSystem(gonamd.Spec{
 		Name: "chaos", Box: vec.New(39, 39, 39), TargetAtoms: 3000,
 		ProteinChains: 1, ChainResidues: 25, LipidCount: 4, LipidTailLen: 8,
@@ -197,7 +211,10 @@ func runMachine(seed uint64, pes int, drop, dup, delay float64, profile bool) bo
 		log.Fatal(err)
 	}
 	model := gonamd.CalibrateMachine("chaos-ascired", 1.0, gonamd.ASCIRed().Net, w.Counts())
-	cfg := gonamd.ClusterConfig{PEs: pes, Model: model, SplitSelf: true, CollectTrace: profile}
+	cfg := gonamd.ClusterConfig{PEs: pes, Model: model, SplitSelf: true, CollectTrace: profile, LB: lb}
+	if lb != nil {
+		fmt.Printf("load balancer: %s\n", lb.Name())
+	}
 
 	// Fault-free reference with the identical recovery machinery (the
 	// reliable protocol's acks cost time, so only a like-for-like run

@@ -37,6 +37,7 @@ func main() {
 	steps := flag.Int("steps", 100, "MD steps")
 	dt := flag.Float64("dt", 0.5, "timestep, fs")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, -1 = sequential engine)")
+	lb := flag.String("lb", "", "parallel load-balancing strategy: greedy+refine (default), refine-only, hierarchical, diffusion, none")
 	minimize := flag.Int("minimize", 200, "minimization iterations before dynamics")
 	cutoff := flag.Float64("cutoff", 9.0, "nonbonded cutoff, Å")
 	every := flag.Int("every", 10, "print energies every N steps")
@@ -81,6 +82,13 @@ func main() {
 	}
 	if *metricsEvery != time.Second && *metricsPath == "" {
 		log.Fatalf("-metricsevery %v has no effect without -metrics", *metricsEvery)
+	}
+	if *lb != "" {
+		// Resolve the name before any expensive setup so a typo fails
+		// immediately with the list of valid strategies.
+		if _, err := gonamd.LookupLBStrategy(*lb); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var sys *gonamd.System
@@ -199,6 +207,9 @@ func main() {
 	var eng gonamd.Engine
 	var constraints *gonamd.Constraints
 	if *workers < 0 {
+		if *lb != "" {
+			log.Fatalf("-lb %s applies only to the parallel engine (drop -shake / use -workers ≥ 0)", *lb)
+		}
 		if *skin > 0 {
 			opts = append(opts, gonamd.WithPairlist(*skin))
 		}
@@ -218,12 +229,18 @@ func main() {
 		if *skin > 0 {
 			opts = append(opts, gonamd.WithBlockLists(*skin))
 		}
+		if *lb != "" {
+			opts = append(opts, gonamd.WithLoadBalancer(*lb))
+		}
 		e, err := gonamd.NewParallel(sys, ff, st, *workers, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		eng = e
 		fmt.Printf("engine: parallel, %d workers, %d tasks\n", e.Workers(), e.NumTasks())
+		if *lb != "" {
+			fmt.Printf("load balancer: %s\n", *lb)
+		}
 	}
 	if *skin > 0 {
 		fmt.Printf("verlet lists: skin %.2f Å\n", *skin)

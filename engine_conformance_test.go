@@ -108,58 +108,51 @@ func TestOptionsOrderIndependent(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchMutators: constructing via options is bitwise
-// identical to post-construction Enable* mutators, for both engines,
-// with Verlet lists and PME enabled.
-func TestOptionsMatchMutators(t *testing.T) {
+// TestPMEAutoBetaMatchesExplicit: WithPME's auto-derived Ewald splitting
+// parameter (beta 0 → 3.12/cutoff) is bitwise identical to passing the
+// same value explicitly, for both engines. (This pins the configuration
+// cross-check the deleted post-construction Enable* mutators used to
+// provide: two independently configured engines must agree exactly.)
+func TestPMEAutoBetaMatchesExplicit(t *testing.T) {
 	sys, st, ff := confSetup(t)
 
 	t.Run("sequential", func(t *testing.T) {
 		s1 := cloneState(st)
-		viaOpts, err := gonamd.NewSequential(sys, ff, s1, gonamd.WithPairlist(1.5), gonamd.WithPME(1.0, 0, 2))
+		auto, err := gonamd.NewSequential(sys, ff, s1, gonamd.WithPairlist(1.5), gonamd.WithPME(1.0, 0, 2))
 		if err != nil {
 			t.Fatal(err)
 		}
 		s2 := cloneState(st)
-		viaMut, err := gonamd.NewSequential(sys, ff, s2)
+		explicit, err := gonamd.NewSequential(sys, ff, s2,
+			gonamd.WithPairlist(1.5), gonamd.WithPME(1.0, 3.12/ff.Cutoff, 2))
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaMut.EnablePairlist(1.5)
-		if err := viaMut.EnableFullElectrostatics(1.0, 3.12/ff.Cutoff, 2); err != nil {
-			t.Fatal(err)
-		}
-		a, b := runSteps(viaOpts, 5), runSteps(viaMut, 5)
+		a, b := runSteps(auto, 5), runSteps(explicit, 5)
 		for i := range a {
 			if a[i] != b[i] {
-				t.Fatalf("atom %d: options %v != mutators %v", i, a[i], b[i])
+				t.Fatalf("atom %d: auto beta %v != explicit beta %v", i, a[i], b[i])
 			}
 		}
 	})
 
 	t.Run("parallel", func(t *testing.T) {
 		s1 := cloneState(st)
-		viaOpts, err := gonamd.NewParallel(sys, ff, s1, 4,
+		auto, err := gonamd.NewParallel(sys, ff, s1, 4,
 			gonamd.WithBlockLists(1.5), gonamd.WithPME(1.0, 0, 2), gonamd.WithRebalanceEvery(0))
 		if err != nil {
 			t.Fatal(err)
 		}
 		s2 := cloneState(st)
-		viaMut, err := gonamd.NewParallel(sys, ff, s2, 4)
+		explicit, err := gonamd.NewParallel(sys, ff, s2, 4,
+			gonamd.WithBlockLists(1.5), gonamd.WithPME(1.0, 3.12/ff.Cutoff, 2), gonamd.WithRebalanceEvery(0))
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaMut.RebalanceEvery = 0
-		if err := viaMut.EnableBlockLists(1.5); err != nil {
-			t.Fatal(err)
-		}
-		if err := viaMut.EnableFullElectrostatics(1.0, 3.12/ff.Cutoff, 2); err != nil {
-			t.Fatal(err)
-		}
-		a, b := runSteps(viaOpts, 5), runSteps(viaMut, 5)
+		a, b := runSteps(auto, 5), runSteps(explicit, 5)
 		for i := range a {
 			if a[i] != b[i] {
-				t.Fatalf("atom %d: options %v != mutators %v", i, a[i], b[i])
+				t.Fatalf("atom %d: auto beta %v != explicit beta %v", i, a[i], b[i])
 			}
 		}
 	})

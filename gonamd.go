@@ -100,11 +100,10 @@ var NewPairBatch = forcefield.NewPairBatch
 // its interaction-table spacing from: spacing = cutoff²/DefaultTableBins.
 const DefaultTableBins = forcefield.DefaultTableBins
 
-// Full electrostatics: both engines grow an
-// EnableFullElectrostatics(gridSpacing, beta, mtsPeriod) method that
-// switches them to smooth particle-mesh Ewald with impulse multiple
-// timestepping. The building blocks are exported for analysis code and
-// tests.
+// Full electrostatics: constructing either engine with
+// WithPME(gridSpacing, beta, mtsPeriod) switches it to smooth
+// particle-mesh Ewald with impulse multiple timestepping. The building
+// blocks are exported for analysis code and tests.
 type (
 	// PMERecip is the reciprocal-space smooth-PME solver (B-spline
 	// spreading, 3D FFT, influence-function convolution, force gather).
@@ -318,6 +317,30 @@ type (
 	// LoadBalanceStats is one balancing pass's evaluation (max/avg load,
 	// imbalance, proxy count), as recorded in ClusterResult.LBStats.
 	LoadBalanceStats = ldb.Stats
+)
+
+// Pluggable load balancing (internal/ldb): strategies are selected by
+// registry name — "greedy+refine" (centralized initial balance plus
+// refinement), "refine-only" (the paper's incremental balancer),
+// "hierarchical" (per-group refinement plus a cross-group pass over
+// group-aggregate loads, for 1024+ PEs), "diffusion" (neighbor
+// averaging), and "none". A ClusterConfig takes a strategy directly in
+// its LB field; the parallel engine takes one via WithLoadBalancer; job
+// specs name one in EngineSpec.LBStrategy.
+type (
+	// LBStrategy maps migratable compute objects onto processors.
+	LBStrategy = ldb.Strategy
+	// UnknownLBStrategyError is returned by LookupLBStrategy for an
+	// unrecognized name; it lists the valid names.
+	UnknownLBStrategyError = ldb.UnknownStrategyError
+)
+
+// LookupLBStrategy resolves a registry name to a fresh strategy,
+// returning an *UnknownLBStrategyError (listing the valid names) for
+// unknown names; LBStrategyNames lists the registry.
+var (
+	LookupLBStrategy = ldb.Lookup
+	LBStrategyNames  = ldb.Names
 )
 
 // AnalyzeTrace analyzes an in-memory trace log; AnalyzeTraceReader

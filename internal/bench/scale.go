@@ -1,0 +1,179 @@
+package bench
+
+// This file holds the paper-scale comparison: the centralized
+// three-stage balancer with flat (point-to-point) proxy multicast
+// against the scalable configuration — hierarchical load balancing plus
+// spanning-tree multicast routed by the machine model. The paper's
+// argument is that the centralized scheme stops paying at around a
+// thousand processors; these tables make the crossover visible on the
+// simulated machines.
+
+import (
+	"fmt"
+	"strings"
+
+	"gonamd/internal/core"
+	"gonamd/internal/ldb"
+	"gonamd/internal/machine"
+	"gonamd/internal/projections"
+)
+
+// ScaleConfig is the paper-scale configuration: StdConfig with the
+// hierarchical strategy (PE groups refined locally, then a cross-group
+// pass over group-aggregate loads) and spanning-tree multicast for
+// proxy coordinate distribution and the PME transpose.
+func ScaleConfig(model machine.Model, pes int) core.Config {
+	cfg := StdConfig(model, pes)
+	cfg.LB = &ldb.Hierarchical{}
+	cfg.TreeMulticast = true
+	return cfg
+}
+
+// ScaleRow compares the two configurations at one PE count.
+type ScaleRow struct {
+	PEs      int
+	Base     float64 // s/step, centralized greedy+refine, flat multicast
+	Tree     float64 // s/step, hierarchical LB + spanning-tree multicast
+	BaseUtil float64 // SeqTime / (PEs · s/step)
+	TreeUtil float64
+	BaseImb  float64 // final balancing pass imbalance, % of avg load
+	TreeImb  float64
+}
+
+func finalImbalancePct(stats []ldb.Stats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	last := stats[len(stats)-1]
+	if last.AvgLoad == 0 {
+		return 0
+	}
+	return 100 * last.Imbalance / last.AvgLoad
+}
+
+// RunScaleComparison measures both configurations at each PE count.
+func RunScaleComparison(w *core.Workload, model machine.Model, peCounts []int) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, len(peCounts))
+	for _, pes := range peCounts {
+		row := ScaleRow{PEs: pes}
+		for _, tree := range []bool{false, true} {
+			cfg := StdConfig(model, pes)
+			if tree {
+				cfg = ScaleConfig(model, pes)
+			}
+			sim, err := core.NewSim(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Run()
+			util := res.SeqTime / (float64(pes) * res.AvgStep)
+			if tree {
+				row.Tree, row.TreeUtil = res.AvgStep, util
+				row.TreeImb = finalImbalancePct(res.LBStats)
+			} else {
+				row.Base, row.BaseUtil = res.AvgStep, util
+				row.BaseImb = finalImbalancePct(res.LBStats)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScale renders the comparison. The marker column flags which
+// configuration wins the modeled step time at each PE count, making the
+// centralized-vs-hierarchical crossover visible at a glance.
+func FormatScale(title string, rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%6s  %12s  %12s  %7s  |  %7s %7s  |  %8s %8s  %s\n",
+		"procs", "central s/st", "hier+tree", "speedup", "util%c", "util%h", "imbal%c", "imbal%h", "winner")
+	for _, r := range rows {
+		winner := "central"
+		if r.Tree < r.Base {
+			winner = "hier+tree"
+		}
+		fmt.Fprintf(&b, "%6d  %12.4g  %12.4g  %7.3f  |  %6.1f%% %6.1f%%  |  %8.1f %8.1f  %s\n",
+			r.PEs, r.Base, r.Tree, r.Base/r.Tree,
+			100*r.BaseUtil, 100*r.TreeUtil, r.BaseImb, r.TreeImb, winner)
+	}
+	return b.String()
+}
+
+// ScalePECountsApoA1 and ScalePECountsBC1 are the PE sweeps of the
+// published scale study. ApoA-I (92k atoms, 144 patches) stops at 1024:
+// past that the system is too small for 2048 processors — per-proxy
+// bookkeeping on the 144 patch-home PEs dominates either strategy and
+// the comparison measures granularity starvation, not balancing. BC1
+// (207k atoms, 378 patches) carries the sweep to 2048, where the paper's
+// scalability argument is made.
+var (
+	ScalePECountsApoA1 = []int{16, 64, 256, 512, 1024}
+	ScalePECountsBC1   = []int{16, 64, 256, 512, 1024, 2048}
+)
+
+// ScaleStudy runs the full paper-scale comparison — both benchmark
+// systems swept across PE counts, plus the BC1 load-balance before/after
+// reports at 1024 and 2048 PEs — and renders it as one document. This is
+// what `benchtables -scale` and docs/scaletables_output.txt hold.
+func ScaleStudy() (string, error) {
+	var b strings.Builder
+	model := machine.ASCIRed()
+
+	apo, err := ApoA1Workload()
+	if err != nil {
+		return "", err
+	}
+	rows, err := RunScaleComparison(apo, model, ScalePECountsApoA1)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatScale("Scale study: ApoA-I (92,224 atoms) on ASCI-Red — centralized greedy+refine with flat multicast vs hierarchical LB with spanning-tree multicast", rows))
+	b.WriteString("\n")
+
+	bc1, err := BC1Workload()
+	if err != nil {
+		return "", err
+	}
+	rows, err = RunScaleComparison(bc1, model, ScalePECountsBC1)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatScale("Scale study: BC1 (206,617 atoms) on ASCI-Red — centralized greedy+refine with flat multicast vs hierarchical LB with spanning-tree multicast", rows))
+	b.WriteString("\n")
+
+	for _, pes := range []int{1024, 2048} {
+		central, hier, err := ScaleLBReports(bc1, model, pes)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "BC1 at %d PEs, centralized greedy+refine:\n%s\n", pes, central)
+		fmt.Fprintf(&b, "BC1 at %d PEs, hierarchical:\n%s\n", pes, hier)
+	}
+	return b.String(), nil
+}
+
+// ScaleLBReports runs both configurations at one PE count and renders
+// their projections load-balance before/after reports, so the reduction
+// in max-PE load (and hence per-step idle time) under the hierarchical
+// strategy can be compared pass by pass against the centralized one.
+func ScaleLBReports(w *core.Workload, model machine.Model, pes int) (central, hier string, err error) {
+	for _, tree := range []bool{false, true} {
+		cfg := StdConfig(model, pes)
+		if tree {
+			cfg = ScaleConfig(model, pes)
+		}
+		sim, err := core.NewSim(w, cfg)
+		if err != nil {
+			return "", "", err
+		}
+		res := sim.Run()
+		rep := projections.LBReport(res.LBStats)
+		if tree {
+			hier = rep
+		} else {
+			central = rep
+		}
+	}
+	return central, hier, nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gonamd/internal/machine"
+)
+
+// TestScaleComparisonSmall exercises the published scale-study plumbing
+// at small PE counts: both configurations run, rows carry sane
+// utilizations, and the rendered table flags a winner per PE count.
+func TestScaleComparisonSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	w, err := ApoA1Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunScaleComparison(w, machine.ASCIRed(), []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Base <= 0 || r.Tree <= 0 {
+			t.Errorf("%d PEs: non-positive step times %g / %g", r.PEs, r.Base, r.Tree)
+		}
+		if r.BaseUtil <= 0 || r.BaseUtil > 1 || r.TreeUtil <= 0 || r.TreeUtil > 1 {
+			t.Errorf("%d PEs: utilization out of range: base %g tree %g", r.PEs, r.BaseUtil, r.TreeUtil)
+		}
+		// At these scales both configurations should land within a few
+		// percent of each other; a 2x gap means a configuration broke.
+		if ratio := r.Base / r.Tree; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%d PEs: step-time ratio %g out of range", r.PEs, ratio)
+		}
+	}
+	out := FormatScale("test", rows)
+	if !strings.Contains(out, "central") && !strings.Contains(out, "hier+tree") {
+		t.Errorf("rendered table names no winner:\n%s", out)
+	}
+}
+
+// TestScaleLBReportsSmall checks that both LB reports render with the
+// expected pass structure.
+func TestScaleLBReportsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	w, err := ApoA1Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, hier, err := ScaleLBReports(w, machine.ASCIRed(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]string{"central": central, "hier": hier} {
+		// Header, two pass rows (0 and 1), and the summary line.
+		if !strings.Contains(rep, "max load") || !strings.Contains(rep, "of the first pass remains") {
+			t.Errorf("%s report malformed:\n%s", name, rep)
+		}
+		if n := strings.Count(strings.TrimSpace(rep), "\n"); n < 3 {
+			t.Errorf("%s report has %d lines, want >= 4:\n%s", name, n+1, rep)
+		}
+	}
+}

@@ -39,6 +39,7 @@ type Runtime struct {
 	Rel ReliableStats
 
 	dispatchH   converse.HandlerID
+	mcastH      converse.HandlerID
 	entries     []Entry
 	names       []string
 	objs        []objSlot
@@ -68,6 +69,11 @@ type objSlot struct {
 func NewRuntime(m *converse.Machine) *Runtime {
 	rt := &Runtime{M: m, reduceEntry: -1}
 	rt.dispatchH = m.RegisterHandler("charm.dispatch", rt.dispatch)
+	// Relays are immediate: forwarding runs in the communication layer at
+	// arrival (Converse immediate messages / the dedicated communication
+	// processor), not behind the worker's scheduler queue — a tree hop
+	// through a busy PE must not wait out its current entry method.
+	rt.mcastH = m.RegisterImmediateHandler("charm.mcast", rt.relay)
 	return rt
 }
 

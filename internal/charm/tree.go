@@ -1,0 +1,180 @@
+// Spanning-tree multicast routing. The flat §4.2.3 multicast packs the
+// payload once but still pays a per-destination CPU charge at the sender
+// and a full receive overhead at every destination — at a thousand PEs a
+// patch with hundreds of proxies serializes all of that on its home
+// processor. Tree routing splits the destination list into fan-out
+// contiguous chunks and forwards each chunk head the rest of its chunk;
+// relays pay the per-child charges, so the sender's cost drops from
+// O(destinations) to O(fan-out) and the remainder is spread across the
+// machine. The fan-out is chosen by the machine model to minimize the
+// modeled completion time (converse.NetworkModel.TreeFanout), so on
+// low-overhead networks the degenerate flat tree is kept automatically.
+package charm
+
+import (
+	"sort"
+
+	"gonamd/internal/converse"
+	"gonamd/internal/trace"
+)
+
+// treeDest is one destination processor and the objects on it.
+type treeDest struct {
+	pe   int32
+	objs []ObjID
+}
+
+// mcastEnv is the converse-level payload of one tree hop: the chunk of
+// destinations rooted at the receiving PE (dests[0] is the receiver
+// itself).
+type mcastEnv struct {
+	entry   EntryID
+	payload any
+	size    int // bytes delivered to each destination object
+	prio    int64
+	fanout  int
+	scatter bool // personalized blocks: wire bytes scale with subtree size
+	dests   []treeDest
+}
+
+// relay is the converse handler forwarding tree multicasts: deliver to
+// the local destinations, then forward the remaining chunks.
+func (rt *Runtime) relay(cc *converse.Ctx, payload any, _ int) {
+	env := payload.(mcastEnv)
+	for _, obj := range env.dests[0].objs {
+		cc.SendFree(cc.PE(), rt.dispatchH,
+			envelope{obj: obj, entry: env.entry, payload: env.payload}, env.size, env.prio)
+	}
+	rt.forward(cc, env.dests[1:], env)
+}
+
+// forward splits rest into up to env.fanout contiguous chunks and sends
+// each to its first PE, charging the per-child multicast cost.
+func (rt *Runtime) forward(cc *converse.Ctx, rest []treeDest, env mcastEnv) {
+	n := len(rest)
+	if n == 0 {
+		return
+	}
+	chunks := env.fanout
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	net := &rt.M.Net
+	for i := 0; i < chunks; i++ {
+		chunk := rest[i*n/chunks : (i+1)*n/chunks]
+		wire := env.size
+		if env.scatter {
+			nobjs := 0
+			for _, d := range chunk {
+				nobjs += len(d.objs)
+			}
+			wire = env.size * nobjs
+		}
+		cc.Charge(net.MulticastPerDest, trace.CatComm)
+		child := env
+		child.dests = chunk
+		cc.SendFree(int(chunk[0].pe), rt.mcastH, child, wire, env.prio)
+	}
+}
+
+// treeDests groups the destination objects by current processor: remote
+// PEs in ascending order (objects in caller order within each), local
+// objects separately.
+func (c *Ctx) treeDests(objs []ObjID) (dests []treeDest, local []ObjID) {
+	self := int32(c.C.PE())
+	byPE := map[int32][]ObjID{}
+	var pes []int
+	for _, obj := range objs {
+		pe := c.RT.objs[obj].pe
+		if pe == self {
+			local = append(local, obj)
+			continue
+		}
+		if _, ok := byPE[pe]; !ok {
+			pes = append(pes, int(pe))
+		}
+		byPE[pe] = append(byPE[pe], obj)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		dests = append(dests, treeDest{pe: int32(pe), objs: byPE[int32(pe)]})
+	}
+	return dests, local
+}
+
+// MulticastTree delivers like Multicast but routes remote destinations
+// through a spanning tree when the machine model says a tree completes
+// sooner. Falls back to the flat Multicast under reliable delivery (the
+// ack/retry protocol tracks point-to-point sends, not relayed chunks),
+// in naive multicast mode, and whenever the chosen fan-out degenerates
+// to the flat send.
+func (c *Ctx) MulticastTree(objs []ObjID, e EntryID, payload any, size int, prio int64) {
+	if len(objs) == 0 {
+		return
+	}
+	net := &c.RT.M.Net
+	if c.RT.reliable || !net.MulticastOptimized {
+		c.Multicast(objs, e, payload, size, prio)
+		return
+	}
+	dests, local := c.treeDests(objs)
+	fanout := 0
+	if len(dests) > 0 {
+		fanout = net.TreeFanout(len(dests), size)
+	}
+	if fanout >= len(dests) {
+		c.Multicast(objs, e, payload, size, prio)
+		return
+	}
+	// Pack once, deliver local destinations directly, hand the remote
+	// chunks to the tree.
+	c.C.Charge(net.SendOverhead+float64(size)*net.SendPerByte, trace.CatComm)
+	for _, obj := range local {
+		c.C.Charge(net.MulticastPerDest, trace.CatComm)
+		c.C.SendFree(c.PE(), c.RT.dispatchH,
+			envelope{obj: obj, entry: e, payload: payload}, size, prio)
+	}
+	c.RT.forward(c.C, dests, mcastEnv{entry: e, payload: payload, size: size, prio: prio, fanout: fanout})
+}
+
+// ScatterTree is the personalized-tree counterpart for transpose-style
+// all-to-alls: every destination object receives its own sizeEach-byte
+// block, so relays forward one combined message per subtree instead of
+// the sender paying a full SendOverhead per destination. Falls back to
+// per-destination Sends under reliable delivery, in naive multicast
+// mode, or when the machine model prefers the flat exchange.
+func (c *Ctx) ScatterTree(objs []ObjID, e EntryID, payload any, sizeEach int, prio int64) {
+	if len(objs) == 0 {
+		return
+	}
+	net := &c.RT.M.Net
+	flat := func() {
+		for _, obj := range objs {
+			c.Send(obj, e, payload, sizeEach, prio)
+		}
+	}
+	if c.RT.reliable || !net.MulticastOptimized {
+		flat()
+		return
+	}
+	dests, local := c.treeDests(objs)
+	fanout := 0
+	if len(dests) > 0 {
+		fanout = net.ScatterFanout(len(dests), sizeEach)
+	}
+	if fanout >= len(dests) {
+		flat()
+		return
+	}
+	// Pack all blocks in one buffer, then scatter down the tree.
+	c.C.Charge(net.SendOverhead+float64(sizeEach*len(objs))*net.SendPerByte, trace.CatComm)
+	for _, obj := range local {
+		c.C.Charge(net.MulticastPerDest, trace.CatComm)
+		c.C.SendFree(c.PE(), c.RT.dispatchH,
+			envelope{obj: obj, entry: e, payload: payload}, sizeEach, prio)
+	}
+	c.RT.forward(c.C, dests, mcastEnv{entry: e, payload: payload, size: sizeEach, prio: prio, fanout: fanout, scatter: true})
+}

@@ -116,8 +116,10 @@ type PE struct {
 	down        bool
 	incarnation uint32
 
-	// Statistics.
+	// Statistics. BusyTime is worker (entry-method) execution; CommTime
+	// is communication-processor time consumed by immediate handlers.
 	BusyTime float64
+	CommTime float64
 	MsgsRecv int
 }
 
@@ -137,6 +139,7 @@ type Machine struct {
 
 	handlers     []Handler
 	handlerNames []string
+	immediate    []bool
 	pes          []*PE
 	events       eventHeap
 	seq          uint64
@@ -179,7 +182,24 @@ func (m *Machine) Stopped() bool { return m.stopped }
 func (m *Machine) RegisterHandler(name string, fn Handler) HandlerID {
 	m.handlers = append(m.handlers, fn)
 	m.handlerNames = append(m.handlerNames, name)
+	m.immediate = append(m.immediate, false)
 	return HandlerID(len(m.handlers) - 1)
+}
+
+// RegisterImmediateHandler registers a handler that runs at message
+// arrival in the communication layer instead of waiting in the
+// scheduler queue — Converse's immediate messages, which on machines
+// with a dedicated communication processor (ASCI Red ran one of each
+// node's two Pentium Pros as one) execute without interrupting the
+// worker. The handler's charges model communication-processor time:
+// they delay its own outgoing forwards but neither occupy the worker
+// CPU nor wait for the worker's current entry method. Immediate
+// handlers must not touch object state owned by ordinary executions;
+// they are for stateless routing (multicast relays).
+func (m *Machine) RegisterImmediateHandler(name string, fn Handler) HandlerID {
+	id := m.RegisterHandler(name, fn)
+	m.immediate[id] = true
+	return id
 }
 
 // Inject enqueues a message arriving at the given PE at the current
@@ -232,6 +252,10 @@ func (m *Machine) Run() float64 {
 				m.Stats.Lost++
 				continue
 			}
+			if m.immediate[ev.m.handler] {
+				m.execImmediate(pe, ev.m)
+				continue
+			}
 			heap.Push(&pe.ready, ev.m)
 			if !pe.busy {
 				m.startExec(pe)
@@ -278,10 +302,46 @@ func (m *Machine) startExec(pe *PE) {
 		})
 	}
 
-	// Dispatch messages sent during this execution: they leave the PE at
-	// completion time and arrive after latency + transmission (plus any
-	// Ctx.After delay), with the fault plan's drop/delay/dup/reorder
-	// verdicts applied to remote messages.
+	m.dispatchOutbox(pe, ctx, end)
+}
+
+// execImmediate runs an immediate handler at message arrival on the
+// PE's communication processor: the worker's busy state and scheduler
+// queue are untouched, and the handler's charges (receive overhead plus
+// whatever it charges itself) delay only its own outgoing messages.
+// Immediate time is accounted separately (PE.CommTime) so worker
+// utilization still means entry-method execution.
+func (m *Machine) execImmediate(pe *PE, mg msg) {
+	pe.MsgsRecv++
+	ctx := &Ctx{m: m, pe: pe, start: m.now}
+	recvCost := m.Net.RecvOverhead
+	if mg.local {
+		recvCost = m.Net.LocalRecvOverhead
+	}
+	if recvCost > 0 {
+		ctx.charge(recvCost, trace.CatRecv)
+	}
+	m.handlers[mg.handler](ctx, mg.payload, mg.size)
+	end := m.now + ctx.dur
+	pe.CommTime += ctx.dur
+	if m.Trace.Enabled() {
+		m.Trace.Add(trace.ExecRecord{
+			PE:    pe.id,
+			Obj:   ctx.obj,
+			Entry: m.handlerNames[mg.handler],
+			Start: m.now,
+			End:   end,
+			Spans: ctx.spans,
+		})
+	}
+	m.dispatchOutbox(pe, ctx, end)
+}
+
+// dispatchOutbox queues the messages sent during an execution: they
+// leave the PE at completion time and arrive after latency +
+// transmission (plus any Ctx.After delay), with the fault plan's
+// drop/delay/dup/reorder verdicts applied to remote messages.
+func (m *Machine) dispatchOutbox(pe *PE, ctx *Ctx, end float64) {
 	var arrive, dupJitter []float64
 	var drop []bool
 	if n := len(ctx.outbox); n > 0 {

@@ -1,0 +1,81 @@
+package converse
+
+// Spanning-tree fan-out selection. A k-ary multicast tree over n
+// destination processors delivers in depth(k) levels; each level costs
+// the forwarding PE k per-destination charges (MulticastPerDest) plus one
+// wire hop (Latency + bytes×PerByte) and one receive overhead at the next
+// relay. The flat §4.2.3 multicast is the k = n degenerate tree: one
+// level, but the sender pays all n per-destination charges itself — the
+// term that stops amortizing past a few hundred destinations. The
+// choosers below minimize the modeled completion time of the last
+// destination, so small runs keep the flat send and large runs get
+// logarithmic depth; they are pure functions of the machine model and are
+// what "costed by the machine model" means for tree routing.
+
+// treeDepth returns the number of levels a k-ary tree needs to cover n
+// destinations (each internal node forwards to k children).
+func treeDepth(n, k int) int {
+	d, covered, level := 0, 0, 1
+	for covered < n {
+		level *= k
+		covered += level
+		d++
+	}
+	return d
+}
+
+// TreeFanout returns the branching factor minimizing the modeled
+// completion time of a broadcast-style tree (every hop forwards the full
+// size-byte payload) to dests destinations. Returns dests (flat send)
+// when no tree is faster — on low-overhead networks or small counts.
+func (n *NetworkModel) TreeFanout(dests, size int) int {
+	if dests <= 2 {
+		return max(dests, 1)
+	}
+	hop := n.Latency + float64(size)*n.PerByte + n.RecvOverhead
+	best := dests
+	bestT := float64(dests)*n.MulticastPerDest + hop
+	maxK := dests
+	if maxK > 64 {
+		maxK = 64
+	}
+	for k := 2; k <= maxK; k++ {
+		t := float64(treeDepth(dests, k)) * (float64(k)*n.MulticastPerDest + hop)
+		if t < bestT {
+			best, bestT = k, t
+		}
+	}
+	return best
+}
+
+// ScatterFanout is TreeFanout for personalized (scatter) trees: every
+// destination receives its own sizeEach-byte block, so a relay forwards
+// only its subtree's blocks and the wire bytes shrink by ~k per level.
+// This models the transpose-style all-to-all where messages for one
+// subtree are combined into one wire message.
+func (n *NetworkModel) ScatterFanout(dests, sizeEach int) int {
+	if dests <= 2 {
+		return max(dests, 1)
+	}
+	eval := func(k int) float64 {
+		d := treeDepth(dests, k)
+		t, rem := 0.0, float64(dests)
+		for l := 0; l < d; l++ {
+			rem /= float64(k)
+			t += float64(k)*n.MulticastPerDest + n.Latency + n.RecvOverhead + rem*float64(sizeEach)*n.PerByte
+		}
+		return t
+	}
+	best := dests
+	bestT := float64(dests)*n.MulticastPerDest + n.Latency + n.RecvOverhead + float64(sizeEach)*n.PerByte
+	maxK := dests
+	if maxK > 64 {
+		maxK = 64
+	}
+	for k := 2; k <= maxK; k++ {
+		if t := eval(k); t < bestT {
+			best, bestT = k, t
+		}
+	}
+	return best
+}

@@ -1,9 +1,5 @@
 package core
 
-import (
-	"gonamd/internal/ldb"
-)
-
 // SetLoadDrift makes compute-object work change slowly over time, modeling
 // the paper's "slow large-scale movements of atoms in the simulation":
 // computes in the upper half of the box (by their first patch's z
@@ -36,14 +32,13 @@ func (s *Sim) RunDrift(epochs, stepsPerEpoch int, periodicRefine bool) []float64
 	refineEnd := warmEnd + cfg.RefineSteps
 	s.totalSteps = refineEnd + epochs*stepsPerEpoch
 	s.runEpoch(warmEnd)
-	s.loadBalance(cfg.WarmSteps,
-		&ldb.Greedy{Overload: cfg.GreedyOverload},
-		&ldb.Refine{Overload: cfg.RefineOverload})
+	s.loadBalance(cfg.WarmSteps, s.lb, 0)
 	s.runEpoch(refineEnd)
-	s.loadBalance(cfg.RefineSteps, &ldb.Refine{Overload: cfg.RefineOverload})
+	s.loadBalance(cfg.RefineSteps, s.lb, 1)
 
 	out := make([]float64, 0, epochs)
 	start := refineEnd
+	pass := 2
 	for e := 0; e < epochs; e++ {
 		end := start + stepsPerEpoch
 		s.runEpoch(end)
@@ -56,7 +51,8 @@ func (s *Sim) RunDrift(epochs, stepsPerEpoch int, periodicRefine bool) []float64
 		}
 		out = append(out, sum/float64(n))
 		if periodicRefine && e < epochs-1 {
-			s.loadBalance(stepsPerEpoch, &ldb.Refine{Overload: cfg.RefineOverload})
+			s.loadBalance(stepsPerEpoch, s.lb, pass)
+			pass++
 		}
 		start = end
 	}

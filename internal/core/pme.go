@@ -73,9 +73,7 @@ func (s *Sim) registerPMEEntries() {
 		}
 		delete(zp.got, key)
 		c.Charge(zp.fwdWork, trace.CatPME)
-		for _, xp := range s.xPencilObj {
-			c.Send(xp, s.ePencilFwd, step, s.pmeBlockBytes, prio(step, classDeposit))
-		}
+		s.transpose(c, s.xPencilObj, s.ePencilFwd, step)
 	})
 	s.ePencilFwd = s.rt.RegisterEntry("pme.transpose", func(c *charm.Ctx, obj, payload any, size int) {
 		xp := obj.(*pencilState)
@@ -86,9 +84,7 @@ func (s *Sim) registerPMEEntries() {
 		}
 		delete(xp.got, step)
 		c.Charge(xp.fwdWork, trace.CatPME)
-		for _, zp := range s.zPencilObj {
-			c.Send(zp, s.ePencilBwd, step, s.pmeBlockBytes, prio(step, classDeposit))
-		}
+		s.transpose(c, s.zPencilObj, s.ePencilBwd, step)
 	})
 	s.ePencilBwd = s.rt.RegisterEntry("pme.untranspose", func(c *charm.Ctx, obj, payload any, size int) {
 		zp := obj.(*pencilState)
@@ -105,6 +101,21 @@ func (s *Sim) registerPMEEntries() {
 				24*s.patches[p].atoms, prio(step, classForce))
 		}
 	})
+}
+
+// transpose scatters one pencil's p² personalized blocks to the other
+// pencil set — the all-to-all phase. With Config.TreeMulticast the
+// blocks ride a scatter tree (relays forward combined subtree messages,
+// so the pencil pays one packing instead of p² SendOverheads); otherwise
+// each block is a direct point-to-point send.
+func (s *Sim) transpose(c *charm.Ctx, dests []charm.ObjID, e charm.EntryID, step int) {
+	if s.cfg.TreeMulticast {
+		c.ScatterTree(dests, e, step, s.pmeBlockBytes, prio(step, classDeposit))
+		return
+	}
+	for _, obj := range dests {
+		c.Send(obj, e, step, s.pmeBlockBytes, prio(step, classDeposit))
+	}
 }
 
 // createPencils builds the pencil objects and attaches each patch to the

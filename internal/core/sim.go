@@ -34,25 +34,56 @@ type Config struct {
 	SplitBonded bool
 	// MulticastOpt enables §4.2.3's optimized multicast.
 	MulticastOpt bool
+	// TreeMulticast routes proxy-position and pencil-charge multicasts
+	// and the PME transpose all-to-alls through spanning trees whose
+	// fan-out the machine model chooses to minimize modeled completion
+	// time (see charm.MulticastTree/ScatterTree). Requires MulticastOpt;
+	// with Reliable delivery the charm layer falls back to tracked
+	// point-to-point sends. Flat routing is kept automatically whenever
+	// the model says a tree would not help, so this is safe to enable at
+	// any scale — it pays off past a few hundred PEs.
+	TreeMulticast bool
+
 	// TargetGrain is the grainsize-splitting threshold in seconds of
 	// this machine's CPU. Zero selects the paper's recommended ~5 ms
 	// scaled by the machine's CPU factor.
 	TargetGrain float64
 
 	// Load balancing schedule (paper §3.2 three stages): WarmSteps of
-	// free running, then greedy+refine, RefineSteps more, then refine,
-	// then MeasureSteps whose durations are reported.
+	// free running, then the strategy's pass 0, RefineSteps more, then
+	// pass 1, then MeasureSteps whose durations are reported.
 	WarmSteps    int
 	RefineSteps  int
 	MeasureSteps int
+
+	// LB is the pluggable load-balancing strategy. Nil selects the
+	// default ldb.GreedyRefine (or the strategy implied by the deprecated
+	// boolean fields below). Use ldb.Lookup to resolve a registry name
+	// ("greedy+refine", "refine-only", "hierarchical", "diffusion",
+	// "none"); ldb.NoOp skips balancing and the warm/refine epochs
+	// entirely, like the old DisableLB. Setting LB together with a
+	// deprecated boolean is a configuration error.
+	LB ldb.Strategy
+
 	// DisableLB skips both balancing passes (static placement only).
+	//
+	// Deprecated: set LB to ldb.NoOp{} (registry name "none") instead.
 	DisableLB bool
 	// DiffusionLB replaces the centralized greedy+refine strategies with
 	// the distributed ring-diffusion strategy (for ablations comparing
 	// the paper's §2.2 centralized-vs-distributed discussion).
+	//
+	// Deprecated: set LB to &ldb.Diffusion{} (registry name "diffusion")
+	// instead.
 	DiffusionLB bool
 
-	GreedyOverload float64 // 0 = ldb default
+	// GreedyOverload and RefineOverload tune the default strategy's
+	// thresholds when LB is nil (0 = ldb default); ignored when LB is
+	// set — tune the strategy value itself instead.
+	//
+	// Deprecated: set LB to an &ldb.GreedyRefine{...} with explicit
+	// overloads instead.
+	GreedyOverload float64
 	RefineOverload float64
 
 	CollectTrace bool
@@ -108,6 +139,37 @@ func (c *Config) fillDefaults() {
 	if c.PMEGrid > 0 && c.PMEMTSPeriod == 0 {
 		c.PMEMTSPeriod = 4
 	}
+}
+
+// resolveLB maps the configuration onto one ldb.Strategy: the pluggable
+// LB field when set, otherwise the deprecated boolean shim (DisableLB →
+// "none", DiffusionLB → "diffusion", default → "greedy+refine" with the
+// legacy overload fields). The shim reproduces the pre-registry behavior
+// bit-identically and is pinned by TestLegacyLBConfigEquivalence.
+func (c *Config) resolveLB() (ldb.Strategy, error) {
+	if c.LB != nil {
+		if c.DisableLB || c.DiffusionLB {
+			return nil, fmt.Errorf("core: Config.LB set together with deprecated DisableLB/DiffusionLB booleans")
+		}
+		return c.LB, nil
+	}
+	switch {
+	case c.DisableLB:
+		return ldb.NoOp{}, nil
+	case c.DiffusionLB:
+		return &ldb.Diffusion{}, nil
+	}
+	return &ldb.GreedyRefine{GreedyOverload: c.GreedyOverload, RefineOverload: c.RefineOverload}, nil
+}
+
+// lbIsNone reports whether the strategy is the registry's "none": no
+// balancing passes, so the simulation skips the warm/refine epochs.
+func lbIsNone(s ldb.Strategy) bool {
+	switch s.(type) {
+	case ldb.NoOp, *ldb.NoOp:
+		return true
+	}
+	return false
 }
 
 // Result reports one simulation's outcome.
@@ -234,6 +296,7 @@ type Sim struct {
 	stepEnd    []float64
 	busyBase   []float64
 
+	lb      ldb.Strategy
 	lbStats []ldb.Stats
 
 	// Recovery state: the last coordinated snapshot (ckpt-envelope
@@ -250,6 +313,10 @@ func NewSim(w *Workload, cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("core: PEs = %d", cfg.PEs)
 	}
 	cfg.fillDefaults()
+	lb, err := cfg.resolveLB()
+	if err != nil {
+		return nil, err
+	}
 	net := cfg.Model.Net
 	net.MulticastOptimized = cfg.MulticastOpt
 
@@ -257,6 +324,7 @@ func NewSim(w *Workload, cfg Config) (*Sim, error) {
 		cfg:        cfg,
 		w:          w,
 		m:          converse.NewMachine(cfg.PEs, net),
+		lb:         lb,
 		proxyByKey: map[[2]int]charm.ObjID{},
 		proxySt:    map[charm.ObjID]*proxyState{},
 	}
@@ -589,15 +657,26 @@ func (s *Sim) wire() {
 // sendPositions is the tail of the integration method: multicast the
 // patch's new positions to its proxies and notify co-located computes.
 func (s *Sim) sendPositions(c *charm.Ctx, ps *patchState) {
-	c.Multicast(ps.proxies, s.eProxyPos, ps.step, ps.posBytes, prio(ps.step, classPositions))
+	s.mcast(c, ps.proxies, s.eProxyPos, ps.step, ps.posBytes, prio(ps.step, classPositions))
 	for _, comp := range ps.locals {
 		c.Send(comp, s.eNotify, ps.step, 16, prio(ps.step, classPositions))
 	}
 	if s.pmeRecipStep(ps.step) {
 		// Multicast positions and charges to the attached z-pencils for
 		// the reciprocal sum (the PME analogue of proxy delivery).
-		c.Multicast(ps.pencils, s.ePencilCharge, ps.step, ps.posBytes, prio(ps.step, classPositions))
+		s.mcast(c, ps.pencils, s.ePencilCharge, ps.step, ps.posBytes, prio(ps.step, classPositions))
 	}
+}
+
+// mcast routes a one-to-many delivery through a machine-model-costed
+// spanning tree when Config.TreeMulticast is set, and the flat §4.2.3
+// multicast otherwise.
+func (s *Sim) mcast(c *charm.Ctx, objs []charm.ObjID, e charm.EntryID, payload any, size int, pr int64) {
+	if s.cfg.TreeMulticast {
+		c.MulticastTree(objs, e, payload, size, pr)
+		return
+	}
+	c.Multicast(objs, e, payload, size, pr)
 }
 
 func (s *Sim) recordStepDone(step int, t float64) {
@@ -656,9 +735,12 @@ func (s *Sim) runEpoch(until int) {
 	}
 }
 
-// loadBalance runs the given strategies in sequence over the loads
-// measured since the last reset, migrates objects, and rewires.
-func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
+// loadBalance runs one balancing pass of the configured strategy over
+// the loads measured since the last reset, migrates objects, and
+// rewires. Composite strategies (ldb.Stager) expand into their stages so
+// each stage starts from the previous one's assignment, exactly like the
+// historical greedy→refine sequence.
+func (s *Sim) loadBalance(steps int, strat ldb.Strategy, pass int) {
 	loads := s.rt.Loads()
 	busy, _ := s.m.PEStats()
 	if s.busyBase == nil {
@@ -714,15 +796,19 @@ func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
 		})
 	}
 
+	stages := []ldb.Strategy{strat}
+	if st, ok := strat.(ldb.Stager); ok {
+		stages = st.Stages(pass)
+	}
 	assign := make([]int, len(prob.Objects))
 	for i, o := range prob.Objects {
 		assign[i] = o.PE
 	}
-	for _, strat := range strategies {
+	for _, stage := range stages {
 		for i := range prob.Objects {
 			prob.Objects[i].PE = assign[i]
 		}
-		assign = strat.Map(prob)
+		assign = stage.Map(prob, pass)
 	}
 	s.lbStats = append(s.lbStats, ldb.Evaluate(prob, assign))
 
@@ -746,24 +832,15 @@ func (s *Sim) loadBalance(steps int, strategies ...ldb.Strategy) {
 // Run executes the full benchmark protocol and returns the result.
 func (s *Sim) Run() *Result {
 	cfg := s.cfg
-	if cfg.DisableLB {
+	if lbIsNone(s.lb) {
 		s.totalSteps = cfg.MeasureSteps + 1
 		s.runEpoch(s.totalSteps)
 	} else {
-		first := []ldb.Strategy{
-			&ldb.Greedy{Overload: cfg.GreedyOverload},
-			&ldb.Refine{Overload: cfg.RefineOverload},
-		}
-		second := []ldb.Strategy{&ldb.Refine{Overload: cfg.RefineOverload}}
-		if cfg.DiffusionLB {
-			first = []ldb.Strategy{&ldb.Diffusion{}}
-			second = []ldb.Strategy{&ldb.Diffusion{}}
-		}
 		s.totalSteps = cfg.WarmSteps + cfg.RefineSteps + cfg.MeasureSteps + 1
 		s.runEpoch(cfg.WarmSteps)
-		s.loadBalance(cfg.WarmSteps, first...)
+		s.loadBalance(cfg.WarmSteps, s.lb, 0)
 		s.runEpoch(cfg.WarmSteps + cfg.RefineSteps)
-		s.loadBalance(cfg.RefineSteps, second...)
+		s.loadBalance(cfg.RefineSteps, s.lb, 1)
 		s.runEpoch(s.totalSteps)
 	}
 

@@ -13,19 +13,19 @@ func BenchmarkGreedy1024(b *testing.B) {
 	p := benchProblem(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		(&Greedy{}).Map(p)
+		(&Greedy{}).Map(p, 0)
 	}
 }
 
 func BenchmarkRefine1024(b *testing.B) {
 	p := benchProblem(1024)
-	assign := (&Greedy{}).Map(p)
+	assign := (&Greedy{}).Map(p, 0)
 	for i := range p.Objects {
 		p.Objects[i].PE = assign[i]
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		(&Refine{}).Map(p)
+		(&Refine{}).Map(p, 0)
 	}
 }
 
@@ -33,6 +33,22 @@ func BenchmarkDiffusion1024(b *testing.B) {
 	p := benchProblem(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		(&Diffusion{}).Map(p)
+		(&Diffusion{}).Map(p, 0)
+	}
+}
+
+func BenchmarkHierarchical1024(b *testing.B) {
+	p := benchProblem(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Hierarchical{}).Map(p, 0)
+	}
+}
+
+func BenchmarkHierarchical2048(b *testing.B) {
+	p := benchProblem(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Hierarchical{}).Map(p, 0)
 	}
 }

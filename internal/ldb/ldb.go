@@ -3,10 +3,19 @@
 // machine and the real parallel engine: a Problem describes measured
 // object loads, the patches each object needs data from, patch home
 // processors, and per-processor background (non-migratable) load; a
-// Strategy produces a new object→processor mapping. The two strategies
-// the paper uses — the greedy proxy-aware initial algorithm and the
-// conservative refinement — are implemented here, along with the
-// statistics (max/average load, proxy counts) the paper reports.
+// Strategy produces a new object→processor mapping. The strategies the
+// paper uses — the greedy proxy-aware initial algorithm, the conservative
+// refinement, the refinement-only incremental balancer, and the
+// hierarchical group-wise balancer for thousand-PE runs — are implemented
+// here, along with the statistics (max/average load, proxy counts) the
+// paper reports. Strategies are selectable by name through Lookup
+// ("greedy+refine", "refine-only", "hierarchical", "diffusion", "none").
+//
+// Background nil contract: Problem.Background may be nil, which every
+// consumer in this package must treat as identical to a slice of NumPE
+// zeros — no strategy or statistic may panic or behave differently on a
+// nil Background versus an explicit all-zero one. When non-nil it must
+// have exactly NumPE entries (enforced by Validate).
 package ldb
 
 import (
@@ -54,9 +63,16 @@ func (p *Problem) Validate() error {
 		if o.Load < 0 {
 			return fmt.Errorf("ldb: object %d has negative load", i)
 		}
-		for _, pt := range o.Patches {
+		for k, pt := range o.Patches {
 			if pt < 0 || pt >= p.NumPatches {
 				return fmt.Errorf("ldb: object %d references patch %d", i, pt)
+			}
+			// Duplicate references within one object would double-count
+			// proxies in Evaluate and availability tracking.
+			for _, prev := range o.Patches[:k] {
+				if prev == pt {
+					return fmt.Errorf("ldb: object %d references patch %d twice", i, pt)
+				}
 			}
 		}
 	}
@@ -65,9 +81,15 @@ func (p *Problem) Validate() error {
 
 // Strategy maps objects to processors. Implementations must keep
 // non-migratable objects on their current PE.
+//
+// pass counts the balancing passes of one simulation run: pass 0 is the
+// initial balance after the warm-up measurement, pass ≥ 1 are the later
+// refinement opportunities. Composite strategies (GreedyRefine,
+// Hierarchical) use it to run their expensive global stage only once;
+// simple strategies ignore it.
 type Strategy interface {
 	Name() string
-	Map(p *Problem) []int
+	Map(p *Problem, pass int) []int
 }
 
 // Stats summarizes an assignment.
@@ -195,8 +217,9 @@ type Greedy struct {
 // Name implements Strategy.
 func (g *Greedy) Name() string { return "greedy" }
 
-// Map implements Strategy.
-func (g *Greedy) Map(p *Problem) []int {
+// Map implements Strategy. Greedy ignores pass: it rebuilds the mapping
+// from scratch every time.
+func (g *Greedy) Map(p *Problem, _ int) []int {
 	overload := g.Overload
 	if overload == 0 {
 		overload = 1.15
@@ -310,8 +333,9 @@ type Refine struct {
 // Name implements Strategy.
 func (r *Refine) Name() string { return "refine" }
 
-// Map implements Strategy.
-func (r *Refine) Map(p *Problem) []int {
+// Map implements Strategy. Refine ignores pass: every invocation is the
+// same conservative incremental step from the objects' current PEs.
+func (r *Refine) Map(p *Problem, _ int) []int {
 	overload := r.Overload
 	if overload == 0 {
 		overload = 1.06
@@ -335,6 +359,27 @@ func (r *Refine) Map(p *Problem) []int {
 		}
 	}
 
+	refineLoop(p, assign, loads, avail, threshold, nil, false)
+	return assign
+}
+
+// refineLoop is the conservative shedding loop shared by Refine and the
+// per-group stage of Hierarchical. It mutates assign/loads/avail in
+// place, moving objects off PEs above threshold onto PEs that stay at or
+// below it; because a source is only selected while above the threshold
+// and a destination only accepted while the move leaves it at or below,
+// the maximum PE load never increases. A non-nil within predicate
+// restricts both sources and destinations to the PEs it accepts.
+//
+// With relaxed set, a destination is also accepted when the move leaves
+// it strictly below the source's current load. At thousands of PEs the
+// overload threshold drops below single-object loads and the strict
+// guard deadlocks with all the work still piled on the patch-home PEs;
+// the relaxed guard keeps draining them. The maximum still never
+// increases (the destination ends below a load that already existed),
+// and each move strictly reduces the sum of squared PE loads, so the
+// loop cannot revisit a state.
+func refineLoop(p *Problem, assign []int, loads []float64, avail *availability, threshold float64, within func(pe int) bool, relaxed bool) {
 	// Objects per PE, heaviest first.
 	objsOn := make([][]int, p.NumPE)
 	for i, o := range p.Objects {
@@ -352,10 +397,17 @@ func (r *Refine) Map(p *Problem) []int {
 		})
 	}
 
-	for iter := 0; iter < 4*p.NumPE+16; iter++ {
+	// In the strict regime no object moves twice (destinations stay at or
+	// below the threshold and never become sources), so the object count
+	// bounds the loop; relaxed moves strictly shrink the sum of squared
+	// loads, so a small multiple of it covers the re-shuffling they allow.
+	for iter := 0; iter < 4*len(p.Objects)+p.NumPE+16; iter++ {
 		// Most overloaded PE.
 		src := -1
 		for pe := 0; pe < p.NumPE; pe++ {
+			if within != nil && !within(pe) {
+				continue
+			}
 			if loads[pe] > threshold && (src < 0 || loads[pe] > loads[src]) {
 				src = pe
 			}
@@ -375,7 +427,13 @@ func (r *Refine) Map(p *Problem) []int {
 			var bestNew int
 			var bestLoad float64
 			for pe := 0; pe < p.NumPE; pe++ {
-				if pe == src || loads[pe]+obj.Load > threshold {
+				if pe == src {
+					continue
+				}
+				if loads[pe]+obj.Load > threshold && !(relaxed && loads[pe]+obj.Load < loads[src]) {
+					continue
+				}
+				if within != nil && !within(pe) {
 					continue
 				}
 				nw := missing(avail, obj.Patches, pe)
@@ -405,7 +463,6 @@ func (r *Refine) Map(p *Problem) []int {
 			break
 		}
 	}
-	return assign
 }
 
 // Diffusion models the paper's distributed strategies (§2.2): no
@@ -423,8 +480,8 @@ type Diffusion struct {
 // Name implements Strategy.
 func (d *Diffusion) Name() string { return "diffusion" }
 
-// Map implements Strategy.
-func (d *Diffusion) Map(p *Problem) []int {
+// Map implements Strategy. Diffusion ignores pass.
+func (d *Diffusion) Map(p *Problem, _ int) []int {
 	assign := make([]int, len(p.Objects))
 	for i, o := range p.Objects {
 		assign[i] = o.PE
@@ -510,14 +567,16 @@ func mod(a, n int) int {
 	return a
 }
 
-// NoOp keeps every object where it is (baseline for ablations).
+// NoOp keeps every object where it is (baseline for ablations). Its
+// registry name is "none"; when a simulation is configured with it the
+// cluster simulation also skips the measurement epochs entirely.
 type NoOp struct{}
 
 // Name implements Strategy.
-func (NoOp) Name() string { return "noop" }
+func (NoOp) Name() string { return "none" }
 
 // Map implements Strategy.
-func (NoOp) Map(p *Problem) []int {
+func (NoOp) Map(p *Problem, _ int) []int {
 	assign := make([]int, len(p.Objects))
 	for i, o := range p.Objects {
 		assign[i] = o.PE

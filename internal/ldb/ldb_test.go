@@ -28,7 +28,12 @@ func randomProblem(seed uint64, npe, npatch, nobj int) *Problem {
 		}
 		np := 1 + rng.Intn(2)
 		for k := 0; k < np; k++ {
-			o.Patches = append(o.Patches, rng.Intn(npatch))
+			pt := rng.Intn(npatch)
+			// Validate rejects duplicate refs within one object.
+			if k > 0 && pt == o.Patches[0] {
+				pt = (pt + 1) % npatch
+			}
+			o.Patches = append(o.Patches, pt)
 		}
 		p.Objects = append(p.Objects, o)
 	}
@@ -90,12 +95,18 @@ func TestValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Error("bad patch ref accepted")
 	}
+	bad = *p
+	bad.Objects = append([]Object{}, p.Objects...)
+	bad.Objects[0].Patches = []int{2, 5, 2}
+	if bad.Validate() == nil {
+		t.Error("duplicate patch ref accepted")
+	}
 }
 
 func TestGreedyBalances(t *testing.T) {
 	p := randomProblem(2, 16, 64, 400)
-	before := Evaluate(p, NoOp{}.Map(p))
-	assign := (&Greedy{}).Map(p)
+	before := Evaluate(p, NoOp{}.Map(p, 0))
+	assign := (&Greedy{}).Map(p, 0)
 	checkAssignment(t, p, assign, "greedy")
 	after := Evaluate(p, assign)
 	if after.MaxLoad >= before.MaxLoad {
@@ -122,7 +133,7 @@ func TestGreedyPrefersProxyReuse(t *testing.T) {
 			{Load: 1, Patches: []int{1}, Migratable: true, PE: 3},
 		},
 	}
-	assign := (&Greedy{Overload: 10}).Map(p) // huge threshold: free choice
+	assign := (&Greedy{Overload: 10}).Map(p, 0) // huge threshold: free choice
 	if assign[0] != 0 || assign[1] != 0 {
 		t.Errorf("objects on patch 0 assigned to %d,%d, want home PE 0", assign[0], assign[1])
 	}
@@ -148,7 +159,7 @@ func TestGreedyRespectsThreshold(t *testing.T) {
 			{Load: 1, Patches: []int{0}, Migratable: true},
 		},
 	}
-	assign := (&Greedy{Overload: 1.05}).Map(p)
+	assign := (&Greedy{Overload: 1.05}).Map(p, 0)
 	counts := map[int]int{}
 	for _, pe := range assign {
 		counts[pe]++
@@ -166,7 +177,7 @@ func TestGreedyRespectsThreshold(t *testing.T) {
 
 func TestGreedyHonorsNonMigratable(t *testing.T) {
 	p := randomProblem(3, 8, 32, 100)
-	assign := (&Greedy{}).Map(p)
+	assign := (&Greedy{}).Map(p, 0)
 	checkAssignment(t, p, assign, "greedy")
 }
 
@@ -185,7 +196,7 @@ func TestRefineOnlyMovesFromOverloaded(t *testing.T) {
 			{Load: 0.9, Patches: []int{1}, Migratable: true, PE: 1},
 		},
 	}
-	assign := (&Refine{Overload: 1.1}).Map(p)
+	assign := (&Refine{Overload: 1.1}).Map(p, 0)
 	checkAssignment(t, p, assign, "refine")
 	if assign[4] != 1 {
 		t.Errorf("balanced object moved from PE1 to %d", assign[4])
@@ -204,14 +215,14 @@ func TestRefineOnlyMovesFromOverloaded(t *testing.T) {
 
 func TestRefineImprovesGreedyResult(t *testing.T) {
 	p := randomProblem(4, 12, 48, 300)
-	greedy := (&Greedy{Overload: 1.3}).Map(p)
+	greedy := (&Greedy{Overload: 1.3}).Map(p, 0)
 	// Feed greedy's output back as current positions.
 	p2 := *p
 	p2.Objects = append([]Object{}, p.Objects...)
 	for i := range p2.Objects {
 		p2.Objects[i].PE = greedy[i]
 	}
-	refined := (&Refine{Overload: 1.03}).Map(&p2)
+	refined := (&Refine{Overload: 1.03}).Map(&p2, 0)
 	checkAssignment(t, &p2, refined, "refine")
 	gs := Evaluate(p, greedy)
 	rs := Evaluate(&p2, refined)
@@ -259,7 +270,7 @@ func TestEvaluateProxies(t *testing.T) {
 
 func TestNoOp(t *testing.T) {
 	p := randomProblem(5, 6, 12, 30)
-	assign := NoOp{}.Map(p)
+	assign := NoOp{}.Map(p, 0)
 	for i, o := range p.Objects {
 		if assign[i] != o.PE {
 			t.Fatalf("NoOp moved object %d", i)
@@ -273,9 +284,9 @@ func TestStrategyProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		npe := 2 + int(seed%14)
 		p := randomProblem(seed, npe, npe*4, npe*20)
-		base := Evaluate(p, NoOp{}.Map(p))
+		base := Evaluate(p, NoOp{}.Map(p, 0))
 		for _, s := range []Strategy{&Greedy{}, &Refine{}} {
-			assign := s.Map(p)
+			assign := s.Map(p, 0)
 			for i, pe := range assign {
 				if pe < 0 || pe >= p.NumPE {
 					return false
@@ -297,8 +308,8 @@ func TestStrategyProperty(t *testing.T) {
 
 func TestDiffusionImprovesClusteredLoad(t *testing.T) {
 	p := randomProblem(7, 12, 48, 240)
-	before := Evaluate(p, NoOp{}.Map(p))
-	assign := (&Diffusion{}).Map(p)
+	before := Evaluate(p, NoOp{}.Map(p, 0))
+	assign := (&Diffusion{}).Map(p, 0)
 	checkAssignment(t, p, assign, "diffusion")
 	after := Evaluate(p, assign)
 	if after.MaxLoad >= before.MaxLoad {
@@ -315,15 +326,15 @@ func TestCentralizedBeatsDiffusion(t *testing.T) {
 	// than ring diffusion on the same problem.
 	for seed := uint64(0); seed < 5; seed++ {
 		p := randomProblem(100+seed, 16, 64, 400)
-		diff := Evaluate(p, (&Diffusion{}).Map(p))
+		diff := Evaluate(p, (&Diffusion{}).Map(p, 0))
 
-		greedy := (&Greedy{}).Map(p)
+		greedy := (&Greedy{}).Map(p, 0)
 		p2 := *p
 		p2.Objects = append([]Object{}, p.Objects...)
 		for i := range p2.Objects {
 			p2.Objects[i].PE = greedy[i]
 		}
-		central := Evaluate(&p2, (&Refine{}).Map(&p2))
+		central := Evaluate(&p2, (&Refine{}).Map(&p2, 0))
 		if central.MaxLoad > diff.MaxLoad*1.05 {
 			t.Errorf("seed %d: centralized max %.4g worse than diffusion %.4g",
 				seed, central.MaxLoad, diff.MaxLoad)
@@ -341,7 +352,7 @@ func TestDiffusionBalancedInputUnchanged(t *testing.T) {
 	for pe := 0; pe < 4; pe++ {
 		p.Objects = append(p.Objects, Object{Load: 1, Patches: []int{pe}, Migratable: true, PE: pe})
 	}
-	assign := (&Diffusion{}).Map(p)
+	assign := (&Diffusion{}).Map(p, 0)
 	for i, o := range p.Objects {
 		if assign[i] != o.PE {
 			t.Errorf("diffusion moved object %d on balanced input", i)

@@ -1,0 +1,43 @@
+package ldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnknownStrategyError is returned by Lookup for a name that is not in
+// the registry. Valid carries the accepted names so callers (CLI flag
+// validation, job-spec admission) can list them without a second call.
+type UnknownStrategyError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("ldb: unknown load-balancing strategy %q (valid: %s)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
+
+// Names returns the registered strategy names in the order they are
+// documented: the default first, then the scalable variants.
+func Names() []string {
+	return []string{"greedy+refine", "refine-only", "hierarchical", "diffusion", "none"}
+}
+
+// Lookup returns a fresh Strategy for a registered name, with every
+// tunable at its default. Unknown names produce *UnknownStrategyError.
+func Lookup(name string) (Strategy, error) {
+	switch name {
+	case "greedy+refine":
+		return &GreedyRefine{}, nil
+	case "refine-only":
+		return &RefineOnly{}, nil
+	case "hierarchical":
+		return &Hierarchical{}, nil
+	case "diffusion":
+		return &Diffusion{}, nil
+	case "none":
+		return NoOp{}, nil
+	}
+	return nil, &UnknownStrategyError{Name: name, Valid: Names()}
+}

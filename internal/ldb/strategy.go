@@ -1,0 +1,280 @@
+package ldb
+
+import "sort"
+
+// Stager is implemented by composite strategies whose balancing passes
+// consist of multiple stages. Callers that record per-stage statistics
+// (the cluster simulation's LBStats) run the stages themselves, feeding
+// each stage's assignment back as the objects' current PEs before the
+// next; Map remains the single-call form that does the same internally.
+type Stager interface {
+	Stages(pass int) []Strategy
+}
+
+// applyStages runs the stages over a private copy of the problem,
+// threading each stage's assignment into the next stage's starting PEs.
+func applyStages(p *Problem, pass int, stages []Strategy) []int {
+	p2 := *p
+	p2.Objects = append([]Object(nil), p.Objects...)
+	var assign []int
+	for _, st := range stages {
+		assign = st.Map(&p2, pass)
+		for i := range p2.Objects {
+			p2.Objects[i].PE = assign[i]
+		}
+	}
+	return assign
+}
+
+// GreedyRefine is the paper's centralized strategy pair as one pluggable
+// unit: the greedy proxy-aware initial algorithm followed by conservative
+// refinement on pass 0, refinement alone on later passes. This is the
+// default strategy and reproduces the historical three-stage schedule of
+// the cluster simulation (warm → greedy+refine → refine → measure).
+type GreedyRefine struct {
+	// GreedyOverload is the pass-0 greedy threshold relative to the
+	// average load; zero means the Greedy default (1.15).
+	GreedyOverload float64
+	// RefineOverload is the refinement threshold; zero means the Refine
+	// default (1.06).
+	RefineOverload float64
+}
+
+// Name implements Strategy.
+func (s *GreedyRefine) Name() string { return "greedy+refine" }
+
+// Stages implements Stager.
+func (s *GreedyRefine) Stages(pass int) []Strategy {
+	if pass == 0 {
+		return []Strategy{&Greedy{Overload: s.GreedyOverload}, &Refine{Overload: s.RefineOverload}}
+	}
+	return []Strategy{&Refine{Overload: s.RefineOverload}}
+}
+
+// Map implements Strategy.
+func (s *GreedyRefine) Map(p *Problem, pass int) []int {
+	return applyStages(p, pass, s.Stages(pass))
+}
+
+// RefineOnly is the paper's incremental balancer for very large runs
+// (§2.2): never recompute the mapping from scratch — reuse the previous
+// assignment wholesale and migrate only the few objects needed to bring
+// processors above the overload threshold back under it. Migration volume
+// stays small and the modeled max-PE load never exceeds that of the input
+// mapping.
+type RefineOnly struct {
+	// Overload relative to average; zero means the default 1.06.
+	Overload float64
+}
+
+// Name implements Strategy.
+func (r *RefineOnly) Name() string { return "refine-only" }
+
+// Map implements Strategy. Every pass is the same conservative
+// refinement from the objects' current PEs.
+func (r *RefineOnly) Map(p *Problem, _ int) []int {
+	return (&Refine{Overload: r.Overload}).Map(p, 0)
+}
+
+// Hierarchical is the scalable strategy for thousand-PE runs: processors
+// are partitioned into contiguous groups of GroupSize; each group refines
+// its own mapping using only group-local information, then a cross-group
+// pass moves work between groups guided by group-aggregate loads, and a
+// final per-group sweep smooths the receivers. No stage ever places an
+// object onto a PE that would exceed the global overload threshold, so
+// like RefineOnly the modeled max-PE load never exceeds that of the input
+// mapping. The centralized GreedyRefine produces better mappings at small
+// PE counts (it sees everything); hierarchical wins past a few hundred
+// PEs where a centralized balancer's O(objects × PEs) decision cost and
+// the migration bursts it triggers stop amortizing — the crossover the
+// paper's scaling discussion predicts.
+type Hierarchical struct {
+	// GroupSize is the number of PEs per balancing group; zero means the
+	// default 128. The last group may be smaller.
+	GroupSize int
+	// Overload relative to the global average; zero means the default 1.06.
+	Overload float64
+}
+
+// Name implements Strategy.
+func (h *Hierarchical) Name() string { return "hierarchical" }
+
+// Map implements Strategy. pass is ignored: every pass is incremental.
+func (h *Hierarchical) Map(p *Problem, _ int) []int {
+	gs := h.GroupSize
+	if gs <= 0 {
+		gs = 128
+	}
+	overload := h.Overload
+	if overload == 0 {
+		overload = 1.06
+	}
+	assign := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		assign[i] = o.PE
+	}
+	loads := PELoads(p, assign)
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	threshold := overload * total / float64(p.NumPE)
+
+	avail := newAvailability(p)
+	for i, o := range p.Objects {
+		for _, t := range o.Patches {
+			avail.add(t, assign[i])
+		}
+	}
+
+	group := func(pe int) int { return pe / gs }
+	ngroups := group(p.NumPE-1) + 1
+	refineGroup := func(g int) {
+		refineLoop(p, assign, loads, avail, threshold, func(pe int) bool { return group(pe) == g }, true)
+	}
+
+	// Stage 1: every group refines independently with group-local moves.
+	for g := 0; g < ngroups; g++ {
+		refineGroup(g)
+	}
+	if ngroups <= 1 {
+		return assign
+	}
+
+	// Stage 2: cross-group pass over group-aggregate loads. A group whose
+	// PEs still exceed the threshold after local refinement is saturated;
+	// shed its heaviest objects to the least-loaded PE of the group with
+	// the lowest aggregate (average) load. The threshold guard on the
+	// destination preserves the never-worsen property.
+	h.crossGroup(p, assign, loads, avail, threshold, gs, ngroups)
+
+	// Stage 3: smooth the receiving groups locally.
+	for g := 0; g < ngroups; g++ {
+		refineGroup(g)
+	}
+	return assign
+}
+
+// crossGroup moves objects between groups guided by group-aggregate
+// loads, mutating assign/loads/avail in place.
+func (h *Hierarchical) crossGroup(p *Problem, assign []int, loads []float64, avail *availability, threshold float64, gs, ngroups int) {
+	group := func(pe int) int { return pe / gs }
+	groupSpan := func(g int) (int, int) {
+		lo := g * gs
+		hi := lo + gs
+		if hi > p.NumPE {
+			hi = p.NumPE
+		}
+		return lo, hi
+	}
+	gavg := make([]float64, ngroups)
+	aggregate := func() {
+		for g := 0; g < ngroups; g++ {
+			lo, hi := groupSpan(g)
+			sum := 0.0
+			for pe := lo; pe < hi; pe++ {
+				sum += loads[pe]
+			}
+			gavg[g] = sum / float64(hi-lo)
+		}
+	}
+
+	// Objects per PE, heaviest first, maintained across moves.
+	objsOn := make([][]int, p.NumPE)
+	for i, o := range p.Objects {
+		if o.Migratable {
+			objsOn[assign[i]] = append(objsOn[assign[i]], i)
+		}
+	}
+	for pe := range objsOn {
+		sort.Slice(objsOn[pe], func(a, b int) bool {
+			la, lb := p.Objects[objsOn[pe][a]].Load, p.Objects[objsOn[pe][b]].Load
+			if la != lb {
+				return la > lb
+			}
+			return objsOn[pe][a] < objsOn[pe][b]
+		})
+	}
+
+	// Threshold-respecting moves park each object at most once (the
+	// destination never becomes a source again); relaxed moves strictly
+	// shrink the sum of squared PE loads, so a small multiple of the
+	// object count bounds the loop. A fresh mapping can need most of it:
+	// at thousands of PEs the patch-home PEs start with nearly all the
+	// work and everything else idle.
+	for iter := 0; iter <= 4*len(p.Objects)+p.NumPE; iter++ {
+		aggregate()
+		// Source: the over-threshold PE in the group with the highest
+		// aggregate load (group chosen by aggregate, PE by its own load).
+		gsrc, src := -1, -1
+		for pe := 0; pe < p.NumPE; pe++ {
+			if loads[pe] <= threshold {
+				continue
+			}
+			g := group(pe)
+			if gsrc < 0 || gavg[g] > gavg[gsrc] || (gavg[g] == gavg[gsrc] && loads[pe] > loads[src]) {
+				gsrc, src = g, pe
+			}
+		}
+		if src < 0 {
+			return
+		}
+		// Destination group: lowest aggregate load, excluding the source
+		// group (its PEs already refused this load locally).
+		gdst := -1
+		for g := 0; g < ngroups; g++ {
+			if g == gsrc {
+				continue
+			}
+			if gdst < 0 || gavg[g] < gavg[gdst] {
+				gdst = g
+			}
+		}
+		lo, hi := groupSpan(gdst)
+		// Heaviest object on src with an acceptable PE in the destination
+		// group. A PE is acceptable when the move keeps it at or below the
+		// threshold, or — past the granularity limit, where single objects
+		// exceed the threshold — strictly below the source's current load
+		// (which preserves the never-worsen guarantee). Among acceptable
+		// PEs prefer the fewest new proxies, then the least loaded: the
+		// cross-group move is where proxies are created, so placing by
+		// load alone would flood the multicast layer.
+		moved := false
+		for oi, i := range objsOn[src] {
+			if i < 0 {
+				continue
+			}
+			obj := &p.Objects[i]
+			dst := -1
+			var dstNew int
+			var dstLoad float64
+			for pe := lo; pe < hi; pe++ {
+				if loads[pe]+obj.Load > threshold && loads[pe]+obj.Load >= loads[src] {
+					continue
+				}
+				nw := missing(avail, obj.Patches, pe)
+				if dst < 0 || nw < dstNew || (nw == dstNew && loads[pe] < dstLoad) {
+					dst, dstNew, dstLoad = pe, nw, loads[pe]
+				}
+			}
+			if dst < 0 {
+				continue
+			}
+			assign[i] = dst
+			loads[src] -= obj.Load
+			loads[dst] += obj.Load
+			for _, t := range obj.Patches {
+				avail.add(t, dst)
+			}
+			objsOn[dst] = append(objsOn[dst], i)
+			objsOn[src][oi] = -1
+			moved = true
+			break
+		}
+		if !moved {
+			// The lightest foreign group cannot take anything from the
+			// worst source: no cross-group move can help further.
+			return
+		}
+	}
+}

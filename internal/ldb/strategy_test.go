@@ -1,0 +1,195 @@
+package ldb
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, s.Name())
+		}
+	}
+	_, err := Lookup("best-effort")
+	var unknown *UnknownStrategyError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("Lookup(unknown) error = %v, want *UnknownStrategyError", err)
+	}
+	if unknown.Name != "best-effort" || !reflect.DeepEqual(unknown.Valid, Names()) {
+		t.Errorf("error fields = %+v", unknown)
+	}
+	for _, name := range Names() {
+		if !containsStr(unknown.Error(), name) {
+			t.Errorf("error text %q does not list %q", unknown.Error(), name)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGreedyRefineMatchesManualStages pins the composite against running
+// its stages by hand — the equivalence the core.Config compatibility shim
+// relies on.
+func TestGreedyRefineMatchesManualStages(t *testing.T) {
+	p := randomProblem(11, 16, 64, 400)
+	got := (&GreedyRefine{}).Map(p, 0)
+
+	greedy := (&Greedy{}).Map(p, 0)
+	p2 := *p
+	p2.Objects = append([]Object{}, p.Objects...)
+	for i := range p2.Objects {
+		p2.Objects[i].PE = greedy[i]
+	}
+	want := (&Refine{}).Map(&p2, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("GreedyRefine pass 0 differs from manual greedy→refine")
+	}
+
+	// Pass ≥ 1 is refinement only, from the original PEs.
+	got = (&GreedyRefine{}).Map(p, 1)
+	want = (&Refine{}).Map(p, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("GreedyRefine pass 1 differs from plain refine")
+	}
+}
+
+func TestHierarchicalBalancesAcrossGroups(t *testing.T) {
+	// 64 PEs in groups of 16; all the work starts inside group 0, so only
+	// the cross-group stage can spread it. Hierarchical must end well
+	// below the no-op max.
+	p := randomProblem(21, 64, 128, 600)
+	for i := range p.Objects {
+		p.Objects[i].PE = p.Objects[i].PE % 16
+	}
+	h := &Hierarchical{GroupSize: 16}
+	assign := h.Map(p, 0)
+	checkAssignment(t, p, assign, "hierarchical")
+	before := Evaluate(p, NoOp{}.Map(p, 0))
+	after := Evaluate(p, assign)
+	if after.MaxLoad >= before.MaxLoad {
+		t.Errorf("hierarchical did not reduce max load: %v -> %v", before.MaxLoad, after.MaxLoad)
+	}
+	// Work must actually leave group 0.
+	outside := 0
+	for _, pe := range assign {
+		if pe >= 16 {
+			outside++
+		}
+	}
+	if outside == 0 {
+		t.Error("no object crossed a group boundary")
+	}
+}
+
+func TestHierarchicalSingleGroupIsLocalRefine(t *testing.T) {
+	// With every PE in one group the cross-group stage is a no-op and the
+	// result must match one relaxed refinement pass at the same
+	// threshold (relaxed: hierarchical targets PE counts past the
+	// granularity limit, where strict refinement deadlocks).
+	p := randomProblem(22, 8, 32, 100)
+	got := (&Hierarchical{GroupSize: 8}).Map(p, 0)
+
+	want := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		want[i] = o.PE
+	}
+	loads := PELoads(p, want)
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	avail := newAvailability(p)
+	for i, o := range p.Objects {
+		for _, pt := range o.Patches {
+			avail.add(pt, want[i])
+		}
+	}
+	refineLoop(p, want, loads, avail, 1.06*total/float64(p.NumPE), nil, true)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("single-group hierarchical differs from relaxed refine")
+	}
+}
+
+// TestIncrementalStrategyProperties is the satellite property test: for
+// random problems, refine-only and hierarchical never migrate a
+// non-migratable object, never worsen the modeled max-PE load versus the
+// input mapping, and are deterministic for a fixed Problem.
+func TestIncrementalStrategyProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		npe := 4 + int(seed%28)
+		p := randomProblem(seed, npe, npe*4, npe*20)
+		base := Evaluate(p, NoOp{}.Map(p, 0))
+		strategies := []Strategy{
+			&RefineOnly{},
+			&Hierarchical{GroupSize: 1 + int(seed%9)},
+			&Hierarchical{}, // default group size larger than NumPE
+		}
+		for _, s := range strategies {
+			assign := s.Map(p, 0)
+			if len(assign) != len(p.Objects) {
+				return false
+			}
+			for i, pe := range assign {
+				if pe < 0 || pe >= p.NumPE {
+					return false
+				}
+				if !p.Objects[i].Migratable && pe != p.Objects[i].PE {
+					return false
+				}
+			}
+			if st := Evaluate(p, assign); st.MaxLoad > base.MaxLoad+1e-9 {
+				return false
+			}
+			if again := s.Map(p, 0); !reflect.DeepEqual(assign, again) {
+				return false // nondeterministic
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRefineOnlyMigratesFew pins the "incremental" claim: starting from a
+// mapping that is mostly fine with one hot PE, refine-only moves only a
+// handful of objects.
+func TestRefineOnlyMigratesFew(t *testing.T) {
+	p := randomProblem(31, 16, 64, 320)
+	// Spread evenly first, then pile a few extras onto PE 0.
+	spread := (&Greedy{}).Map(p, 0)
+	for i := range p.Objects {
+		p.Objects[i].PE = spread[i]
+	}
+	for i := 0; i < 10; i++ {
+		p.Objects[i].PE = 0
+	}
+	assign := (&RefineOnly{}).Map(p, 0)
+	moved := 0
+	for i, pe := range assign {
+		if pe != p.Objects[i].PE {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("refine-only moved nothing off the hot PE")
+	}
+	if moved > 20 {
+		t.Errorf("refine-only moved %d of %d objects; want an incremental handful", moved, len(p.Objects))
+	}
+}

@@ -1,0 +1,24 @@
+package machine
+
+// Tree-multicast costing. The machine model prices a spanning-tree hop at
+// Latency + bytes×PerByte on the wire plus the forwarding CPU charges of
+// the network model; these helpers expose the fan-out that minimizes the
+// modeled completion time on this machine, so callers (the cluster
+// simulation's proxy multicast and PME transposes) can route without
+// knowing the cost constants. On ASCI-Red's high per-message overheads
+// the chooser switches to trees at a few dozen destinations; on the
+// low-latency T3E and Origin it keeps flat sends far longer.
+
+// TreeFanout returns the completion-time-minimizing branching factor for
+// a broadcast tree carrying size bytes to dests destinations (dests =
+// flat send when no tree is faster).
+func (m *Model) TreeFanout(dests, size int) int {
+	return m.Net.TreeFanout(dests, size)
+}
+
+// ScatterFanout is TreeFanout for personalized trees, where each of the
+// dests destinations receives its own sizeEach-byte block and relays
+// forward combined subtree messages.
+func (m *Model) ScatterFanout(dests, sizeEach int) int {
+	return m.Net.ScatterFanout(dests, sizeEach)
+}

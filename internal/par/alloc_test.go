@@ -23,7 +23,7 @@ func TestStepZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.RebalanceEvery = 0
-	if err := e.EnableBlockLists(1.5); err != nil {
+	if err := EnableBlockLists(e, 1.5); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -50,7 +50,7 @@ func TestStepZeroAllocsTraced(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.RebalanceEvery = 0
-	if err := e.EnableBlockLists(1.5); err != nil {
+	if err := EnableBlockLists(e, 1.5); err != nil {
 		t.Fatal(err)
 	}
 	l := trace.NewLog()
@@ -81,10 +81,10 @@ func TestStepPMEZeroAllocsRealSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.RebalanceEvery = 0
-	if err := e.EnableBlockLists(1.5); err != nil {
+	if err := EnableBlockLists(e, 1.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.EnableFullElectrostatics(1.0, 0.45, 1000); err != nil {
+	if err := EnableFullElectrostatics(e, 1.0, 0.45, 1000); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {

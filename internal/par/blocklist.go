@@ -41,12 +41,11 @@ func unpackPair(pk uint64) (i, j int32, modified bool) {
 // pair lists with the given skin (Å; typical 1.5-2.0). The spatial grid
 // is rebuilt with cells at least cutoff+skin wide — adjacent-cell task
 // coverage must span the list distance, not just the cutoff — and the
-// task decomposition is rebuilt on the new grid.
-//
-// Deprecated: construct with gonamd.NewParallel(sys, ff, st, workers,
-// gonamd.WithBlockLists(skin)) instead; the option validates the skin
-// and delegates here, so the two paths are identical.
-func (e *Engine) EnableBlockLists(skin float64) error {
+// task decomposition is rebuilt on the new grid. This is the
+// implementation behind gonamd.WithBlockLists; it is a package function
+// rather than a method so the configuration surface of the public
+// Engine types stays construction-only.
+func EnableBlockLists(e *Engine, skin float64) error {
 	if skin <= 0 {
 		panic("par: block-list skin must be positive")
 	}

@@ -29,7 +29,7 @@ func TestDifferentialBlockListForces(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.EnableBlockLists(1.5); err != nil {
+		if err := EnableBlockLists(eng, 1.5); err != nil {
 			t.Fatal(err)
 		}
 		en := eng.ComputeForces()
@@ -80,7 +80,7 @@ func TestDifferentialBlockListTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.EnableBlockLists(1.5); err != nil {
+	if err := EnableBlockLists(eng, 1.5); err != nil {
 		t.Fatal(err)
 	}
 	eng.RebalanceEvery = 0
@@ -119,7 +119,7 @@ func TestDifferentialBlockListDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := eng.EnableBlockLists(1.5); err != nil {
+			if err := EnableBlockLists(eng, 1.5); err != nil {
 				t.Fatal(err)
 			}
 			eng.RebalanceEvery = 0
@@ -145,7 +145,7 @@ func TestBlockListRebuildOnMotion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.EnableBlockLists(1.0); err != nil {
+	if err := EnableBlockLists(eng, 1.0); err != nil {
 		t.Fatal(err)
 	}
 	eng.ComputeForces()

@@ -109,6 +109,12 @@ type Engine struct {
 	// passes (0 disables automatic rebalancing; call Rebalance manually).
 	RebalanceEvery int
 
+	// LB is the load-balancing strategy Rebalance applies; nil selects
+	// the default ldb.GreedyRefine. Resolve registry names with
+	// ldb.Lookup ("greedy+refine", "refine-only", "hierarchical",
+	// "diffusion", "none").
+	LB ldb.Strategy
+
 	// Thermo, when non-nil, is applied after every step (NVT dynamics).
 	Thermo thermo.Thermostat
 
@@ -280,9 +286,13 @@ func (e *Engine) staticAssign() {
 	}
 }
 
-// Rebalance remaps tasks to workers using the measured task times and the
-// same greedy+refine strategies as the cluster simulation. Cached block
-// lists are per task, not per worker, so they survive reassignment.
+// Rebalance remaps tasks to workers using the measured task times and
+// the engine's LB strategy (default ldb.GreedyRefine, the same
+// centralized pair the cluster simulation uses). The balance count is
+// the strategy's pass number, so composite strategies run their global
+// stage on the first rebalance and refine incrementally thereafter.
+// Cached block lists are per task, not per worker, so they survive
+// reassignment.
 func (e *Engine) Rebalance() {
 	prob := &ldb.Problem{
 		NumPE:      e.workers,
@@ -297,11 +307,11 @@ func (e *Engine) Rebalance() {
 			PE:         e.assign[ti],
 		})
 	}
-	assign := (&ldb.Greedy{}).Map(prob)
-	for i := range prob.Objects {
-		prob.Objects[i].PE = assign[i]
+	strat := e.LB
+	if strat == nil {
+		strat = &ldb.GreedyRefine{}
 	}
-	e.assign = (&ldb.Refine{}).Map(prob)
+	e.assign = strat.Map(prob, e.balances)
 	e.balances++
 }
 

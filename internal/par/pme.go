@@ -32,18 +32,16 @@ func (p poolAdapter) Run(f func(w int)) {
 }
 
 // EnableFullElectrostatics switches the engine to smooth particle-mesh
-// Ewald, exactly as the sequential engine's method of the same name: erfc
-// real space in the batched pair kernels, the reciprocal mesh sum every
-// mtsPeriod steps as an impulse, with the mesh phases parallelized over
-// the engine's worker pool. Forces and energies are bitwise identical to
-// the sequential engine's PME path for any worker count. Must be called
-// before the first Step.
-//
-// Deprecated: construct with gonamd.NewParallel(sys, ff, st, workers,
-// gonamd.WithPME(gridSpacing, beta, mtsPeriod)) instead; the option
-// validates the parameters (and derives beta from the cutoff when 0) and
-// delegates here, so the two paths are identical.
-func (e *Engine) EnableFullElectrostatics(gridSpacing, beta float64, mtsPeriod int) error {
+// Ewald, exactly as the sequential engine's function of the same name:
+// erfc real space in the batched pair kernels, the reciprocal mesh sum
+// every mtsPeriod steps as an impulse, with the mesh phases parallelized
+// over the engine's worker pool. Forces and energies are bitwise
+// identical to the sequential engine's PME path for any worker count.
+// Must be called before the first Step. This is the implementation
+// behind gonamd.WithPME; it is a package function rather than a method
+// so the configuration surface of the public Engine types stays
+// construction-only.
+func EnableFullElectrostatics(e *Engine, gridSpacing, beta float64, mtsPeriod int) error {
 	if e.pme != nil {
 		return fmt.Errorf("par: full electrostatics already enabled")
 	}

@@ -69,3 +69,37 @@ func TestGoldenLBReport(t *testing.T) {
 	}
 	checkGolden(t, "lb.txt", []byte(LBReport(passes)))
 }
+
+// TestGoldenHierarchicalLBReport pins the hierarchical strategy's
+// before/after report on a deterministic synthetic problem: 64 PEs in
+// groups of 16 with every object piled into the first group, so the
+// report shows both the group-local refinement and the cross-group
+// moves recovering the imbalance. The strategy is deterministic, so the
+// rendered table is stable.
+func TestGoldenHierarchicalLBReport(t *testing.T) {
+	const npe, npatch = 64, 64
+	p := &ldb.Problem{NumPE: npe, NumPatches: npatch, PatchHome: make([]int, npatch)}
+	for pt := range p.PatchHome {
+		p.PatchHome[pt] = pt % npe
+	}
+	for i := 0; i < 256; i++ {
+		p.Objects = append(p.Objects, ldb.Object{
+			// Multiplicative-hash loads: irregular but reproducible.
+			Load:       0.5 + float64(i*2654435761%100)/100,
+			PE:         i % 16, // everything starts in the first group
+			Patches:    []int{i % npatch},
+			Migratable: true,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, len(p.Objects))
+	for i, o := range p.Objects {
+		before[i] = o.PE
+	}
+	h := &ldb.Hierarchical{GroupSize: 16}
+	after := h.Map(p, 0)
+	passes := []ldb.Stats{ldb.Evaluate(p, before), ldb.Evaluate(p, after)}
+	checkGolden(t, "lb_hierarchical.txt", []byte(LBReport(passes)))
+}

@@ -20,7 +20,7 @@ func benchEngine(b *testing.B, pairlist bool) *Engine {
 	}
 	eng.Minimize(50, 0.2)
 	if pairlist {
-		eng.EnablePairlist(1.5)
+		EnablePairlist(eng, 1.5)
 	}
 	return eng
 }

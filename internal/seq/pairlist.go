@@ -35,12 +35,11 @@ type pairlist struct {
 // EnablePairlist switches the engine's nonbonded evaluation to a Verlet
 // neighbor list with the given skin (Å; typical 1.5-2.0). The list is
 // rebuilt automatically when any atom has moved more than skin/2 since
-// the last build.
-//
-// Deprecated: construct with gonamd.NewSequential(sys, ff, st,
-// gonamd.WithPairlist(skin)) instead; the option validates the skin and
-// delegates here, so the two paths are identical.
-func (e *Engine) EnablePairlist(skin float64) {
+// the last build. This is the implementation behind
+// gonamd.WithPairlist; it is a package function rather than a method so
+// the configuration surface of the public Engine types stays
+// construction-only.
+func EnablePairlist(e *Engine, skin float64) {
 	if skin <= 0 {
 		panic("seq: pairlist skin must be positive")
 	}

@@ -23,7 +23,7 @@ func TestPairlistScanFrequency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.EnablePairlist(1.5)
+	EnablePairlist(eng, 1.5)
 	eng.Minimize(20, 0.2) // calm initial overlaps so drift is thermal
 
 	scans0, skips0, rebuilds0 := eng.PairlistScans(), eng.PairlistSkips(), eng.PairlistRebuilds()

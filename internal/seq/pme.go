@@ -19,13 +19,11 @@ import (
 // corrections supply the long-range remainder. mtsPeriod sets the
 // multiple-timestepping split: the reciprocal sum is evaluated once every
 // mtsPeriod steps and applied as an impulse (Verlet-I/r-RESPA), 1 meaning
-// every step. Must be called before the first Step.
-//
-// Deprecated: construct with gonamd.NewSequential(sys, ff, st,
-// gonamd.WithPME(gridSpacing, beta, mtsPeriod)) instead; the option
-// validates the parameters (and derives beta from the cutoff when 0) and
-// delegates here, so the two paths are identical.
-func (e *Engine) EnableFullElectrostatics(gridSpacing, beta float64, mtsPeriod int) error {
+// every step. Must be called before the first Step. This is the
+// implementation behind gonamd.WithPME; it is a package function rather
+// than a method so the configuration surface of the public Engine types
+// stays construction-only.
+func EnableFullElectrostatics(e *Engine, gridSpacing, beta float64, mtsPeriod int) error {
 	if e.pme != nil {
 		return fmt.Errorf("seq: full electrostatics already enabled")
 	}

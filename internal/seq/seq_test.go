@@ -298,7 +298,7 @@ func TestPairlistMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	listed.EnablePairlist(1.5)
+	EnablePairlist(listed, 1.5)
 
 	dEn := direct.ComputeForces()
 	lEn := listed.ComputeForces()
@@ -330,7 +330,7 @@ func TestPairlistStaysCorrectAcrossTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	listed.EnablePairlist(1.0)
+	EnablePairlist(listed, 1.0)
 
 	for s := 0; s < 25; s++ {
 		direct.Step(0.5)
@@ -350,7 +350,7 @@ func TestPairlistRebuildsOnMotion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.EnablePairlist(1.0)
+	EnablePairlist(eng, 1.0)
 	eng.ComputeForces()
 	if eng.PairlistRebuilds() != 1 {
 		t.Fatalf("rebuilds = %d", eng.PairlistRebuilds())
@@ -391,7 +391,7 @@ func TestPairlistSmallCellFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	listed.EnablePairlist(1.5)
+	EnablePairlist(listed, 1.5)
 	dEn := direct.ComputeForces()
 	lEn := listed.ComputeForces()
 	if math.Abs(dEn.Potential()-lEn.Potential()) > 1e-9*(1+math.Abs(dEn.Potential())) {
@@ -410,7 +410,7 @@ func TestEnablePairlistValidation(t *testing.T) {
 			t.Error("zero skin did not panic")
 		}
 	}()
-	eng.EnablePairlist(0)
+	EnablePairlist(eng, 0)
 }
 
 func TestMTSEnergyConservation(t *testing.T) {
@@ -594,7 +594,7 @@ func TestVirialPairlistConsistent(t *testing.T) {
 	sys, st, ff := smallSystem(t)
 	direct, _ := New(sys, ff, st.Clone())
 	listed, _ := New(sys, ff, st.Clone())
-	listed.EnablePairlist(1.5)
+	EnablePairlist(listed, 1.5)
 	a := direct.ComputeForces().Virial
 	b := listed.ComputeForces().Virial
 	if math.Abs(a-b) > 1e-7*(1+math.Abs(a)) {

@@ -153,9 +153,22 @@ func (s *JobSpec) normalizeMD() error {
 	if s.Engine.TableSpacing < 0 {
 		return fmt.Errorf("serve: table_spacing %g Å² must be ≥ 0 (0 = default resolution)", s.Engine.TableSpacing)
 	}
-	if par, err := s.Engine.Parallel(); err != nil {
+	par, err := s.Engine.Parallel()
+	if err != nil {
 		return err
-	} else if par && s.Engine.RebalanceEvery == nil {
+	}
+	if s.Engine.LBStrategy != "" {
+		// Resolve the name at admission so a typo fails the submission —
+		// with the error listing the valid names — instead of a queued
+		// job failing when it first runs.
+		if !par {
+			return fmt.Errorf("serve: lb_strategy %q requires the parallel engine", s.Engine.LBStrategy)
+		}
+		if _, err := gonamd.LookupLBStrategy(s.Engine.LBStrategy); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if par && s.Engine.RebalanceEvery == nil {
 		// Measurement-based rebalancing reassigns tasks from wall-clock
 		// timings, which would make a resumed run sum forces in a
 		// different order than the uninterrupted one. Pin it off unless

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gonamd"
+)
+
+// TestLBStrategyAdmission: job specs naming a load-balancing strategy
+// are validated when submitted, not when the queued job first runs —
+// unknown names fail with the typed registry error listing the valid
+// names, and naming one on the sequential engine is rejected.
+func TestLBStrategyAdmission(t *testing.T) {
+	base := func() JobSpec {
+		return JobSpec{
+			System: SystemSpec{Preset: "water"},
+			Steps:  10,
+			Engine: gonamd.EngineSpec{Engine: "parallel"},
+		}
+	}
+
+	t.Run("valid names accepted", func(t *testing.T) {
+		for _, name := range gonamd.LBStrategyNames() {
+			s := base()
+			s.Engine.LBStrategy = name
+			if err := s.normalize(100); err != nil {
+				t.Errorf("lb_strategy %q rejected: %v", name, err)
+			}
+		}
+	})
+
+	t.Run("unknown name rejected with valid list", func(t *testing.T) {
+		s := base()
+		s.Engine.LBStrategy = "greedy"
+		err := s.normalize(100)
+		if err == nil {
+			t.Fatal("unknown lb_strategy accepted")
+		}
+		var unknown *gonamd.UnknownLBStrategyError
+		if !errors.As(err, &unknown) {
+			t.Fatalf("error %T is not *UnknownLBStrategyError: %v", err, err)
+		}
+		for _, name := range gonamd.LBStrategyNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not list valid name %q", err, name)
+			}
+		}
+	})
+
+	t.Run("sequential engine rejected", func(t *testing.T) {
+		s := base()
+		s.Engine.Engine = "sequential"
+		s.Engine.LBStrategy = "hierarchical"
+		err := s.normalize(100)
+		if err == nil || !strings.Contains(err.Error(), "parallel") {
+			t.Fatalf("lb_strategy on sequential engine: got %v, want parallel-engine error", err)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gonamd/internal/ftdc"
+	"gonamd/internal/ldb"
 	"gonamd/internal/par"
 	"gonamd/internal/seq"
 	"gonamd/internal/thermo"
@@ -85,6 +86,8 @@ type engineOptions struct {
 
 	rebalanceEvery    int
 	rebalanceEverySet bool
+
+	lb ldb.Strategy // par: task-to-worker balancing strategy, nil = default
 
 	hbond bool
 }
@@ -308,6 +311,27 @@ func WithRebalanceEvery(steps int) Option {
 	}
 }
 
+// WithLoadBalancer selects the parallel engine's load-balancing
+// strategy by registry name (see LBStrategyNames: "greedy+refine",
+// "refine-only", "hierarchical", "diffusion", "none"). The strategy
+// decides how nonbonded tasks are reassigned to workers on each
+// measurement-based rebalancing pass (see WithRebalanceEvery). An
+// unknown name fails construction with an *UnknownLBStrategyError
+// listing the valid names. Parallel engine only.
+func WithLoadBalancer(name string) Option {
+	return func(o *engineOptions) error {
+		if o.kind != kindParallel {
+			return fmt.Errorf("gonamd: WithLoadBalancer applies only to the parallel engine")
+		}
+		s, err := ldb.Lookup(name)
+		if err != nil {
+			return err
+		}
+		o.lb = s
+		return nil
+	}
+}
+
 // WithHBondConstraints builds SHAKE/RATTLE constraints for every bond
 // involving hydrogen, fixed at the force-field equilibrium length, and
 // attaches them to the engine (retrieve with Sequential.Constraints and
@@ -367,7 +391,7 @@ func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Seq
 		e.Thermo = o.thermostat
 	}
 	if o.pairlistSkin > 0 {
-		e.EnablePairlist(o.pairlistSkin)
+		seq.EnablePairlist(e, o.pairlistSkin)
 	}
 	if o.clusterM > 0 {
 		if err := e.EnableClusterLists(o.clusterM, o.clusterN, o.clusterSkin, o.mixedPrecision); err != nil {
@@ -375,7 +399,7 @@ func NewSequential(sys *System, ff *ForceField, st *State, opts ...Option) (*Seq
 		}
 	}
 	if o.pmeSet {
-		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
+		if err := seq.EnableFullElectrostatics(e, o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
 			return nil, err
 		}
 	}
@@ -425,8 +449,11 @@ func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Op
 	if o.rebalanceEverySet {
 		e.RebalanceEvery = o.rebalanceEvery
 	}
+	if o.lb != nil {
+		e.LB = o.lb
+	}
 	if o.blockSkin > 0 {
-		if err := e.EnableBlockLists(o.blockSkin); err != nil {
+		if err := par.EnableBlockLists(e, o.blockSkin); err != nil {
 			return nil, err
 		}
 	}
@@ -436,7 +463,7 @@ func NewParallel(sys *System, ff *ForceField, st *State, workers int, opts ...Op
 		}
 	}
 	if o.pmeSet {
-		if err := e.EnableFullElectrostatics(o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
+		if err := par.EnableFullElectrostatics(e, o.pmeGrid, o.betaOrAuto(ff), o.pmeMTS); err != nil {
 			return nil, err
 		}
 	}
@@ -509,6 +536,11 @@ type EngineSpec struct {
 	// task-to-worker assignment from wall-clock timings, so services
 	// that promise bit-identical crash resume pin this to 0.
 	RebalanceEvery *int `json:"rebalance_every,omitempty"`
+	// LBStrategy names the parallel engine's load-balancing strategy
+	// (see LBStrategyNames; "" keeps the engine default,
+	// "greedy+refine"). Unknown names are rejected with an error listing
+	// the valid ones — services validate this at admission time.
+	LBStrategy string `json:"lb_strategy,omitempty"`
 	// Thermostat, when non-nil, selects NVT dynamics.
 	Thermostat *ThermostatSpec `json:"thermostat,omitempty"`
 	// HBondConstraints enables SHAKE/RATTLE on bonds to hydrogen
@@ -636,6 +668,9 @@ func (s *EngineSpec) options(th Thermostat) []Option {
 	}
 	if s.RebalanceEvery != nil {
 		opts = append(opts, WithRebalanceEvery(*s.RebalanceEvery))
+	}
+	if s.LBStrategy != "" {
+		opts = append(opts, WithLoadBalancer(s.LBStrategy))
 	}
 	if s.HBondConstraints {
 		opts = append(opts, WithHBondConstraints())

@@ -145,16 +145,18 @@ func TestPMENVEDriftDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	ff := gonamd.StandardForceField(5.5)
-	e, err := gonamd.NewSequential(sys, ff, st)
+	relax, err := gonamd.NewSequential(sys, ff, st)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Relax the synthetic starting structure first: the as-built water box
 	// sits on steep repulsive contacts whose relaxation transients dwarf
-	// any integrator drift.
-	e.Minimize(200, 0.2)
+	// any integrator drift. The minimizer mutates st in place, so the PME
+	// engine built over the same state starts from the relaxed structure.
+	relax.Minimize(200, 0.2)
 	const mts = 4
-	if err := e.EnableFullElectrostatics(0.5, 0.55, mts); err != nil {
+	e, err := gonamd.NewSequential(sys, ff, st, gonamd.WithPME(0.5, 0.55, mts))
+	if err != nil {
 		t.Fatal(err)
 	}
 
